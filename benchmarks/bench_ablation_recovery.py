@@ -1,0 +1,63 @@
+"""Ablation G — recovery cost: rebuild the index vs restore the saved one.
+
+Real Glimpse persists its index files; recovery then costs whatever changed
+since the save rather than a full re-read of the corpus.  This ablation
+measures both recovery paths for the same HAC file system.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchResult, report, time_call
+from repro.core.hacfs import HacFileSystem
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+N_FILES = 600
+
+
+def build():
+    gen = CorpusGenerator(CorpusConfig(n_files=N_FILES, words_per_file=120,
+                                       dirs=12, seed=77))
+    hac = HacFileSystem()
+    gen.populate(hac, "/db")
+    hac.clock.tick()
+    hac.ssync("/")
+    hac.smkdir("/q", "data OR file")
+    return hac
+
+
+@pytest.mark.benchmark(group="ablation-recovery")
+def test_rebuild_vs_restore(benchmark, record_report):
+    def run(repetitions=2):
+        rebuild_s = restore_s = None
+        for _ in range(repetitions):
+            cold = build()
+            secs, _ = time_call(
+                lambda: HacFileSystem.restore(cold.fs, reuse_index=False))
+            rebuild_s = secs if rebuild_s is None else min(rebuild_s, secs)
+
+            warm = build()
+            saved_bytes = warm.save_index()
+            secs, revived = time_call(
+                lambda: HacFileSystem.restore(warm.fs))
+            restore_s = secs if restore_s is None else min(restore_s, secs)
+            retokenised = revived.counters.get("engine.indexed")
+        return rebuild_s, restore_s, saved_bytes, retokenised
+
+    rebuild_s, restore_s, saved_bytes, retokenised = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=1)
+
+    results = [
+        BenchResult("corpus files", N_FILES),
+        BenchResult("recovery by full rebuild s", rebuild_s),
+        BenchResult("recovery from saved index s", restore_s),
+        BenchResult("rebuild / restore", rebuild_s / restore_s),
+        BenchResult("saved index bytes", saved_bytes),
+        BenchResult("docs re-tokenised on restore", retokenised),
+    ]
+    record_report(report("Ablation G: recovery — rebuild vs saved index",
+                         results))
+
+    assert retokenised == 0, "restore must not re-read unchanged documents"
+    assert rebuild_s > restore_s * 1.3, (
+        f"saved-index recovery should clearly win: rebuild {rebuild_s:.3f}s "
+        f"vs restore {restore_s:.3f}s")

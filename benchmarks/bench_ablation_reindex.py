@@ -1,0 +1,70 @@
+"""Ablation D — incremental reindexing vs full rebuild (§2.4's economics).
+
+The lazy data-consistency policy is only worth it because a periodic
+reindex costs in proportion to what *changed*, not to the corpus.  This
+ablation touches a fraction of the files and compares the incremental
+reindex against rebuilding the index from scratch.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchResult, report, time_call
+from repro.core.hacfs import HacFileSystem
+from repro.cba.engine import CBAEngine
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+N_FILES = 800
+CHANGED_FRACTION = 0.05
+
+
+def build():
+    gen = CorpusGenerator(CorpusConfig(n_files=N_FILES, words_per_file=120,
+                                       dirs=16, seed=21))
+    hac = HacFileSystem()
+    paths = gen.populate(hac, "/db")
+    hac.clock.tick()
+    hac.ssync("/")
+    return hac, paths
+
+
+@pytest.mark.benchmark(group="ablation-reindex")
+def test_incremental_vs_full(benchmark, record_report):
+    def run():
+        hac, paths = build()
+        changed = paths[:int(N_FILES * CHANGED_FRACTION)]
+        hac.clock.tick()
+        for path in changed:
+            hac.write_file(path, b"freshly changed fingerprint text\n")
+        hac.clock.tick()
+
+        inc_seconds, plan = time_call(lambda: hac.reindex("/"))
+
+        # full rebuild: a fresh engine over the same live tree
+        def rebuild():
+            engine = CBAEngine(loader=hac._load_doc)
+            from repro.vfs.walker import iter_files
+            for path, node in iter_files(hac.fs, "/"):
+                res = hac.fs.resolve(path, follow=False)
+                engine.index_document((res.fs.fsid, res.node.ino), path,
+                                      res.node.attrs.mtime)
+            return engine
+
+        full_seconds, _engine = time_call(rebuild)
+        return inc_seconds, full_seconds, plan
+
+    inc_seconds, full_seconds, plan = benchmark.pedantic(run, rounds=1,
+                                                         iterations=1)
+    results = [
+        BenchResult("corpus files", N_FILES),
+        BenchResult("files changed", plan.touched),
+        BenchResult("incremental reindex s", inc_seconds),
+        BenchResult("full rebuild s", full_seconds),
+        BenchResult("full / incremental", full_seconds / inc_seconds),
+    ]
+    record_report(report("Ablation D: incremental vs full reindex", results))
+
+    assert plan.touched == int(N_FILES * CHANGED_FRACTION)
+    assert not plan.added and not plan.removed
+    assert full_seconds > inc_seconds * 2, (
+        "incremental reindex must cost in proportion to the change set, "
+        f"got inc={inc_seconds:.4f}s full={full_seconds:.4f}s")

@@ -1,0 +1,77 @@
+"""Ablation F — flat N/8 bitmap vs sparse-set representation (§4 future work).
+
+The paper stores each semantic directory's result as N/8 bytes and notes it
+"plan[s] to improve this in future by using better sparse-set
+representations, so that it is possible to index a very large number of
+files."  This ablation implements the comparison: stored bytes per result
+across densities over a large id space, plus intersection speed at both
+extremes.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import BenchResult, report
+from repro.util.bitmap import Bitmap
+from repro.util.sparseset import SparseSet
+
+N = 1_000_000          # "a very large number of files"
+DENSITIES = (0.00001, 0.001, 0.1)
+
+
+def make(density, seed):
+    rng = random.Random(seed)
+    count = max(1, int(N * density))
+    return sorted(rng.sample(range(N), count))
+
+
+@pytest.mark.benchmark(group="ablation-sparse-size")
+def test_size_by_density(benchmark, record_report):
+    def run():
+        rows = []
+        for density in DENSITIES:
+            members = make(density, seed=1)
+            rows.append((density, len(members),
+                         Bitmap(members).nbytes, SparseSet(members).nbytes))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = []
+    for density, count, flat, sparse in rows:
+        results.append(BenchResult(
+            f"density {density:g} ({count} ids): flat N/8 bytes", flat))
+        results.append(BenchResult(
+            f"density {density:g}: sparse bytes", sparse))
+    record_report(report(
+        "Ablation F: flat bitmap vs sparse set over 1M-file id space",
+        results))
+
+    by_density = {d: (flat, sparse) for d, _c, flat, sparse in rows}
+    # sparse wins by orders of magnitude at low density...
+    flat, sparse = by_density[0.00001]
+    assert sparse * 50 < flat, f"sparse {sparse}B should crush flat {flat}B"
+    # ...and never degenerates beyond a small constant factor when dense
+    flat, sparse = by_density[0.1]
+    assert sparse < flat * 1.2, \
+        "dense chunks must cap at the bitmap representation"
+
+
+@pytest.mark.benchmark(group="ablation-sparse-ops")
+def test_flat_intersection_dense(benchmark):
+    a, b = Bitmap(make(0.1, 1)), Bitmap(make(0.1, 2))
+    benchmark(lambda: a & b)
+
+
+@pytest.mark.benchmark(group="ablation-sparse-ops")
+def test_sparse_intersection_sparse_data(benchmark):
+    a, b = SparseSet(make(0.0001, 1)), SparseSet(make(0.0001, 2))
+    benchmark(lambda: a & b)
+
+
+@pytest.mark.benchmark(group="ablation-sparse-ops")
+def test_flat_intersection_sparse_data(benchmark):
+    # the flat representation must still walk max-id/8 bytes even when
+    # almost nothing is set — the cost the sparse layout avoids
+    a, b = Bitmap(make(0.0001, 1)), Bitmap(make(0.0001, 2))
+    benchmark(lambda: a & b)

@@ -1,0 +1,84 @@
+"""Ablation E — lazy (§2.4) vs eager (watch) data consistency.
+
+The paper chooses lazy data consistency because "the extra cost
+(determining when files have changed, re-indexing files automatically,
+etc.) will not warrant it" for typical file systems.  The watch extension
+implements the eager alternative; this ablation measures the choice: total
+cost of a write burst under each policy, and the per-write price of
+freshness.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchResult, report, time_call
+from repro.core.hacfs import HacFileSystem
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+N_FILES = 300
+BURST = 60
+
+
+def build():
+    gen = CorpusGenerator(CorpusConfig(n_files=N_FILES, words_per_file=80,
+                                       dirs=8, topics={"hotword": 0.1},
+                                       seed=31))
+    hac = HacFileSystem()
+    gen.populate(hac, "/db")
+    hac.makedirs("/inbox")
+    hac.clock.tick()
+    hac.ssync("/")
+    hac.smkdir("/hot", "hotword")
+    return hac
+
+
+def write_burst(hac):
+    for i in range(BURST):
+        hac.clock.tick()
+        hac.write_file(f"/inbox/new{i:03d}.txt",
+                       f"message {i} with hotword inside\n".encode())
+
+
+@pytest.mark.benchmark(group="ablation-watch")
+def test_lazy_vs_eager(benchmark, record_report):
+    def run():
+        lazy = build()
+        lazy_burst, _ = time_call(lambda: write_burst(lazy))
+        stale = "new000.txt" not in lazy.listdir("/hot")
+        lazy_sync, _ = time_call(lambda: lazy.ssync("/"))
+        lazy_fresh = "new000.txt" in lazy.listdir("/hot")
+
+        eager = build()
+        eager.watch("/inbox")
+        eager_burst, _ = time_call(lambda: write_burst(eager))
+        eager_fresh = "new000.txt" in eager.listdir("/hot")
+        return (lazy_burst, lazy_sync, stale, lazy_fresh,
+                eager_burst, eager_fresh)
+
+    (lazy_burst, lazy_sync, stale, lazy_fresh,
+     eager_burst, eager_fresh) = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1,
+                                                    warmup_rounds=1)
+    lazy_total = lazy_burst + lazy_sync
+    results = [
+        BenchResult("writes in burst", BURST),
+        BenchResult("lazy: burst s", lazy_burst),
+        BenchResult("lazy: final ssync s", lazy_sync),
+        BenchResult("lazy: total s", lazy_total),
+        BenchResult("eager: burst (incl. reindex) s", eager_burst),
+        BenchResult("eager per-write ms", 1000 * eager_burst / BURST),
+        BenchResult("lazy per-write ms (burst only)",
+                    1000 * lazy_burst / BURST),
+        BenchResult("eager / lazy total", eager_burst / lazy_total),
+    ]
+    record_report(report("Ablation E: lazy vs eager data consistency",
+                         results))
+
+    # --- shape assertions ----------------------------------------------------
+    assert stale and lazy_fresh, \
+        "lazy policy: results stale during the burst, fresh after ssync"
+    assert eager_fresh, "eager policy: results fresh after every write"
+    assert eager_burst > lazy_burst, \
+        "freshness must cost something per write"
+    # ...but eager per-write work is incremental, far below one full ssync
+    assert (eager_burst / BURST) < lazy_sync, \
+        "one eager update must cost less than a full lazy sync"

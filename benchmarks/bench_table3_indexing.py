@@ -1,0 +1,92 @@
+"""Table 3 — indexing through HAC vs running Glimpse directly.
+
+Paper: indexing a 17 000-file / 150 MB database directly with Glimpse vs
+through the HAC library showed a 27 % time overhead and a 15 % space
+overhead.
+
+Our corpus defaults to ~1 500 files / ~2 MB (scale with HAC_BENCH_SCALE);
+"direct Glimpse" is the CBA engine fed from a plain dict, "through HAC" is
+a full ``reindex`` walking the live file system and charging the block
+device.  Shape to reproduce: a modest positive overhead on both axes.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchResult, assert_shape, report, time_call
+from repro.bench.tables import PAPER, slowdown_pct
+from repro.cba.engine import CBAEngine
+from repro.core.hacfs import HacFileSystem
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+
+def make_config(scale):
+    return CorpusConfig(n_files=1500 * scale, words_per_file=160,
+                        dirs=30, seed=3)
+
+
+def index_direct(gen, repetitions=2):
+    docs = dict(gen.documents())
+
+    def run():
+        engine = CBAEngine(loader=docs.__getitem__)
+        for rel, text in docs.items():
+            engine.index_document(rel, path="/" + rel, mtime=1.0, text=text)
+        return engine
+
+    best = None
+    for _ in range(repetitions):
+        seconds, engine = time_call(run)
+        best = seconds if best is None else min(best, seconds)
+    return best, engine.index_size_bytes()
+
+
+def index_through_hac(gen, repetitions=2):
+    best = None
+    for _ in range(repetitions):
+        hac = HacFileSystem()
+        gen.populate(hac, "/db")
+        hac.clock.tick()
+        seconds, _plan = time_call(lambda: hac.reindex("/"))
+        best = seconds if best is None else min(best, seconds)
+    space = hac.engine.index_size_bytes() + hac.metadata_bytes()
+    return best, space
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_indexing_overhead(benchmark, record_report, scale):
+    gen = CorpusGenerator(make_config(scale))
+
+    def run():
+        direct_time, direct_space = index_direct(gen)
+        hac_time, hac_space = index_through_hac(gen)
+        return direct_time, direct_space, hac_time, hac_space
+
+    direct_time, direct_space, hac_time, hac_space = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=1)
+
+    time_overhead = slowdown_pct(hac_time, direct_time)
+    space_overhead = slowdown_pct(hac_space, direct_space)
+    results = [
+        BenchResult("corpus files", gen.config.n_files, PAPER["table3"]["files"]),
+        BenchResult("corpus MB", gen.total_bytes() / 1e6,
+                    PAPER["table3"]["megabytes"]),
+        BenchResult("direct index time s", direct_time),
+        BenchResult("through-HAC index time s", hac_time),
+        BenchResult("time overhead %", time_overhead,
+                    PAPER["table3"]["time_overhead_pct"]),
+        BenchResult("direct index bytes", direct_space),
+        BenchResult("through-HAC bytes (index+metadata)", hac_space),
+        BenchResult("space overhead %", space_overhead,
+                    PAPER["table3"]["space_overhead_pct"]),
+    ]
+    record_report(report("Table 3: indexing through HAC vs direct Glimpse",
+                         results))
+    benchmark.extra_info["time_overhead_pct"] = round(time_overhead, 1)
+    benchmark.extra_info["space_overhead_pct"] = round(space_overhead, 1)
+
+    # --- shape assertions ----------------------------------------------------
+    assert_shape("indexing time overhead %", time_overhead, 3.0, 300.0)
+    assert space_overhead > 0, \
+        "HAC must store extra per-directory metadata on top of the index"
+    assert space_overhead < 200.0, \
+        "HAC metadata should stay a modest fraction of the index"

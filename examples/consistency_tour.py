@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""A guided tour of the scope-consistency problem and HAC's solution (§2.3).
+
+Walks through the four ways a semantic directory's scope can change —
+parent edits, moves, upstream cascades, query changes — and shows the
+invariant holding after each, including the dependency-DAG case where the
+affected directory is nowhere near the change (§2.5).
+
+Run:  python examples/consistency_tour.py
+"""
+
+from repro import HacFileSystem
+
+
+def show(hac, path, label):
+    names = sorted(hac.links(path))
+    print(f"  {label:<38} {path}: {names}")
+
+
+def main() -> None:
+    hac = HacFileSystem()
+    hac.makedirs("/docs")
+    for name, text in {
+        "pandas.txt": "pandas eat bamboo in the mountains",
+        "redpanda.txt": "the red panda also eats bamboo",
+        "zoo.txt": "the zoo keeps pandas and penguins",
+        "recipes.txt": "bamboo shoots stir fry recipe",
+    }.items():
+        hac.write_file(f"/docs/{name}", text.encode())
+    hac.clock.tick()
+    hac.ssync("/")
+
+    print("== setup: a two-level hierarchy of semantic directories ==")
+    hac.smkdir("/bamboo", "bamboo")
+    hac.smkdir("/bamboo/eaters", "pandas OR panda")
+    show(hac, "/bamboo", "parent")
+    show(hac, "/bamboo/eaters", "child (refines parent)")
+
+    print("\n== trigger 1: editing the parent's links ==")
+    hac.unlink("/bamboo/redpanda.txt")        # user deletes -> prohibited
+    show(hac, "/bamboo", "parent after rm")
+    show(hac, "/bamboo/eaters", "child re-evaluated automatically")
+
+    print("\n== trigger 2: moving the semantic directory ==")
+    hac.smkdir("/zoo-stuff", "zoo OR penguins")
+    hac.rename("/bamboo/eaters", "/eaters")   # scope: /bamboo -> root
+    show(hac, "/eaters", "moved to the root scope")
+
+    print("\n== trigger 3: a change cascading from a grandparent ==")
+    hac.rename("/eaters", "/bamboo/eaters")   # put it back
+    hac.smkdir("/bamboo/eaters/reds", "red")
+    show(hac, "/bamboo/eaters/reds", "grandchild")
+    hac.unprohibit("/bamboo", "/docs/redpanda.txt")
+    show(hac, "/bamboo", "prohibition lifted")
+    show(hac, "/bamboo/eaters", "child sees it")
+    show(hac, "/bamboo/eaters/reds", "grandchild sees it")
+
+    print("\n== trigger 4: changing a query in place ==")
+    hac.set_query("/bamboo/eaters", "zoo")
+    show(hac, "/bamboo/eaters", "same dir, new query, same scope")
+
+    print("\n== §2.5: dependencies that ignore the hierarchy ==")
+    hac.smkdir("/watchlist", "/bamboo AND pandas")
+    show(hac, "/watchlist", "depends on /bamboo by reference")
+    hac.unlink("/bamboo/pandas.txt")
+    show(hac, "/watchlist", "updated though it's not under /bamboo")
+
+    print("\n== renames never break reference queries (global UID map) ==")
+    hac.rename("/bamboo", "/bambusa")
+    print("  /watchlist query is now:", hac.get_query("/watchlist"))
+    hac.ssync("/")
+    show(hac, "/watchlist", "still consistent")
+
+    print("\n== cycles are rejected up front ==")
+    from repro.errors import DependencyCycle
+    try:
+        hac.set_query("/bambusa", "bamboo AND /watchlist")
+    except DependencyCycle as exc:
+        print("  rejected:", exc)
+    print("  /bambusa query unchanged:", hac.get_query("/bambusa"))
+
+
+if __name__ == "__main__":
+    main()

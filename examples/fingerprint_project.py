@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""The paper's running example (§2.1): the fingerprint project.
+
+Information about the project lives in mail, notes, and source files, on
+this machine and on a laptop, plus a remote digital library.  HAC combines
+all of it in one semantic directory, keeps it consistent, and lets the user
+fine-tune the result.
+
+Run:  python examples/fingerprint_project.py
+"""
+
+from repro import HacFileSystem, HacShell, SimulatedSearchService
+from repro.remote.rpc import RpcTransport
+from repro.vfs.filesystem import FileSystem
+from repro.workloads.mailgen import MailGenerator
+
+
+def build_world() -> HacShell:
+    shell = HacShell(HacFileSystem())
+    hac = shell.hacfs
+
+    # local material: notes, source code, a mailbox
+    hac.makedirs("/notes")
+    hac.write_file("/notes/minutiae.txt",
+                   b"fingerprint minutiae: endings, bifurcations, deltas\n")
+    hac.write_file("/notes/todo.txt", b"call the dentist\n")
+    hac.makedirs("/src")
+    hac.write_file("/src/match.c",
+                   b"/* fingerprint matching: ridge orientation field */\n"
+                   b"int ridge_count(int a, int b) { return a + b; }\n")
+    MailGenerator(seed=2).populate(hac, "/mail", count=12)
+
+    # the laptop arrives: a separate file system, syntactically mounted
+    laptop = FileSystem(name="laptop")
+    laptop.makedirs("/experiments")
+    laptop.write_file("/experiments/run1.log",
+                      b"fingerprint experiment run 1: 93.2% accuracy\n")
+    laptop.write_file("/experiments/scratch.txt", b"nothing to see\n")
+    hac.mkdir("/laptop")
+    hac.mount("/laptop", laptop)
+
+    # a digital library, semantically mounted (queries forward to it)
+    library = SimulatedSearchService(
+        "digilib",
+        documents={
+            "henry-1900": "the henry system of fingerprint classification",
+            "fbi-afis": "automated fingerprint identification systems at scale",
+            "cnn-1998": "gradient based learning applied to documents",
+        },
+        titles={"henry-1900": "Henry1900", "fbi-afis": "FBI-AFIS",
+                "cnn-1998": "LeCun98"},
+        transport=RpcTransport("digilib", clock=hac.clock, latency=0.05),
+    )
+    hac.mkdir("/library")
+    hac.smount("/library", library)
+
+    hac.clock.tick()
+    hac.ssync("/")
+    return shell
+
+
+def main() -> None:
+    shell = build_world()
+    hac = shell.hacfs
+
+    print("== gather everything about the project ==")
+    shell.smkdir("/fingerprint", "fingerprint")
+    for name, cls, target in shell.sls("/fingerprint"):
+        print(f"  {name:<22} [{cls:<9}] {target}")
+
+    print("\n== read a remote result through the file system ==")
+    print(" ", shell.cat("/fingerprint/FBI-AFIS").strip())
+
+    print("\n== fine-tune: drop noise, keep a keeper ==")
+    mail_noise = [n for n, _c, _t in shell.sls("/fingerprint")
+                  if n.startswith("msg")][0]
+    shell.rm(f"/fingerprint/{mail_noise}")          # prohibited now
+    shell.ln("/notes/todo.txt", "/fingerprint/dont-forget.txt")  # permanent
+    print("  prohibited:", shell.sprohibited("/fingerprint"))
+
+    print("\n== refinement hierarchy ==")
+    shell.smkdir("/fingerprint/experiments", "accuracy OR experiment")
+    print("  /fingerprint/experiments:", shell.ls("/fingerprint/experiments").split())
+    shell.smkdir("/fingerprint/classic-papers", "classification OR identification")
+    print("  /fingerprint/classic-papers:",
+          shell.ls("/fingerprint/classic-papers").split())
+
+    print("\n== combine searching and browsing (§2.5) ==")
+    shell.smkdir("/reports", "accuracy AND /fingerprint")
+    print("  /reports:", shell.ls("/reports").split())
+
+    print("\n== new mail triggers a mail-only sync (§2.4) ==")
+    hac.write_file("/mail/msg9999.txt",
+                   b"From: boss\nSubject: fingerprint demo\n\n"
+                   b"the fingerprint accuracy demo is on monday\n")
+    hac.clock.tick()
+    shell.ssync("/mail")
+    assert "msg9999.txt" in shell.ls("/fingerprint")
+    print("  picked up msg9999.txt; /reports:", shell.ls("/reports").split())
+
+    print("\n== the directory moves; queries survive (the global UID map) ==")
+    hac.makedirs("/projects")
+    shell.mv("/fingerprint", "/projects/fingerprint")
+    print("  /reports query is now:", shell.squery("/reports"))
+    # moving under a plain directory RE-SCOPES the query to that subtree
+    # (§2.3 trigger 2): /projects holds no mail or notes, so only the
+    # permanent link survives the move
+    print("  /projects/fingerprint after the move:",
+          shell.ls("/projects/fingerprint").split())
+    assert shell.hacfs.classify(
+        "/projects/fingerprint/dont-forget.txt") == "permanent"
+    print("  (permanent links always survive; transient ones re-scope)")
+    shell.mv("/projects/fingerprint", "/fingerprint")   # back at the root
+    shell.ssync("/")
+    print("  moved back, everything returns:",
+          len(shell.ls("/fingerprint").split()), "entries —",
+          "prohibited mail still out:",
+          mail_noise not in shell.ls("/fingerprint").split())
+
+    library = hac.semmounts.get("digilib")
+    print("\ndone — rpc calls made to the library:",
+          int(library.transport.calls))
+
+
+if __name__ == "__main__":
+    main()

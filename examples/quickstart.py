@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: a HAC file system in ninety seconds.
+
+Creates a small personal name space, indexes it, builds a semantic
+directory, and shows the three link classes (transient / permanent /
+prohibited) in action.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HacFileSystem
+
+
+def main() -> None:
+    hac = HacFileSystem()
+
+    # --- an ordinary hierarchical file system, nothing semantic yet --------
+    hac.makedirs("/notes")
+    hac.makedirs("/mail")
+    hac.write_file("/notes/design.txt",
+                   b"fingerprint matcher design: minutiae, ridges, cores\n")
+    hac.write_file("/notes/groceries.txt", b"milk, coffee, bananas\n")
+    hac.write_file("/mail/from-alice.txt",
+                   b"From: alice\n\nthe fingerprint sensor prototype works!\n")
+    hac.write_file("/mail/from-bob.txt",
+                   b"From: bob\n\nlunch at noon on friday?\n")
+
+    # index the name space (HAC settles data consistency at reindex time)
+    hac.clock.tick()
+    plan = hac.ssync("/")
+    print(f"indexed the name space: {plan!r}")
+
+    # --- a semantic directory: a real directory whose contents are a query --
+    hac.smkdir("/fingerprint", "fingerprint")
+    print("\n/fingerprint after smkdir:")
+    for name, (cls, target) in sorted(hac.links("/fingerprint").items()):
+        print(f"  {name:<18} [{cls}] -> {target}")
+
+    # the links are ordinary symlinks: read straight through them
+    body = hac.read_file("/fingerprint/from-alice.txt")
+    print(f"\nreading through a link: {body.decode().splitlines()[-1]!r}")
+
+    # sact: just the lines that made the file match
+    print("sact:", hac.sact("/fingerprint/design.txt"))
+
+    # --- curation: edit the query result like any directory ----------------
+    # 1. remove a result -> HAC prohibits it (it will not come back)
+    hac.unlink("/fingerprint/from-alice.txt")
+    # 2. add an unrelated file by hand -> a permanent link
+    hac.symlink("/notes/groceries.txt", "/fingerprint/offsite-shopping.txt")
+
+    hac.ssync("/")  # re-evaluation respects the user's edits
+    print("\n/fingerprint after curation + ssync:")
+    for name, (cls, target) in sorted(hac.links("/fingerprint").items()):
+        print(f"  {name:<22} [{cls}]")
+    print("prohibited:", hac.prohibited("/fingerprint"))
+
+    # --- new matching content appears at the next sync ----------------------
+    hac.write_file("/mail/from-carol.txt",
+                   b"From: carol\n\nnew fingerprint dataset attached\n")
+    hac.clock.tick()
+    hac.ssync("/")
+    assert "from-carol.txt" in hac.listdir("/fingerprint")
+    print("\nnew mail picked up:", sorted(hac.listdir("/fingerprint")))
+
+    # --- refinement: a child semantic directory scopes to its parent --------
+    hac.smkdir("/fingerprint/datasets", "dataset")
+    print("/fingerprint/datasets:", sorted(hac.listdir("/fingerprint/datasets")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Sharing personal classifications across users (§3.2).
+
+Alice curates a semantic directory.  Bob (a) semantically mounts Alice's
+HAC file system and searches it, and (b) finds Alice's classification in
+the shared-directory registry and imports it into his own name space.
+Finally both mount each other — the paper's "no problem of cyclic
+reference" scenario.
+
+Run:  python examples/shared_classifications.py
+"""
+
+from repro import (
+    HacFileSystem,
+    RemoteHacFileSystem,
+    SharedDirectoryRegistry,
+    SimulatedSearchService,
+)
+
+
+def make_alice() -> HacFileSystem:
+    alice = HacFileSystem()
+    alice.makedirs("/papers")
+    alice.write_file("/papers/survey.txt",
+                     b"a survey of fingerprint recognition\n")
+    alice.write_file("/papers/sensors.txt",
+                     b"fingerprint sensors: capacitive and optical\n")
+    alice.write_file("/papers/unrelated.txt", b"a paper about compilers\n")
+    # alice also pulls from a public library
+    library = SimulatedSearchService("arxiv", documents={
+        "fp-deep": "deep learning for fingerprint matching",
+        "gc-pause": "garbage collection pauses considered harmful",
+    })
+    alice.mkdir("/arxiv")
+    alice.smount("/arxiv", library)
+    alice.clock.tick()
+    alice.ssync("/")
+    alice.smkdir("/curated-fp", "fingerprint")
+    # her personal touch: the compiler paper stays out even if it ever
+    # mentioned fingerprints; and she pins the survey permanently
+    alice.make_permanent("/curated-fp/survey.txt")
+    return alice
+
+
+def main() -> None:
+    alice = make_alice()
+    print("alice's curated directory:")
+    for name, (cls, target) in sorted(alice.links("/curated-fp").items()):
+        print(f"  {name:<14} [{cls:<9}] {target}")
+
+    # ---- bob mounts alice ---------------------------------------------------
+    bob = HacFileSystem()
+    bob.makedirs("/work")
+    bob.write_file("/work/my-fp-notes.txt", b"bob's fingerprint notes\n")
+    bob.clock.tick()
+    bob.ssync("/")
+
+    alice_ns = RemoteHacFileSystem("alice", alice, export_root="/curated-fp")
+    bob.mkdir("/alice")
+    bob.smount("/alice", alice_ns)
+    bob.smkdir("/borrowed", "fingerprint")
+    print("\nbob's /borrowed (his notes + alice's curation):")
+    for name, (cls, target) in sorted(bob.links("/borrowed").items()):
+        print(f"  {name:<22} [{cls:<9}] {target}")
+
+    # reading through the mount
+    name = next(n for n, (_c, t) in bob.links("/borrowed").items()
+                if t.startswith("alice://"))
+    print("\nbob reads alice's file:", bob.read_file(f"/borrowed/{name}").decode().strip())
+
+    # ---- the central registry ------------------------------------------------
+    registry = SharedDirectoryRegistry()
+    record = registry.publish("alice", alice, "/curated-fp")
+    print("\nregistry search for 'fingerprint':",
+          [hit.doc for hit in registry.search("fingerprint")])
+    created = registry.import_into(bob, record, "/imported/alice-fp")
+    print("bob imported:", created)
+
+    # ---- mutual mounts: no cycles, just interfaces (§3.2) ---------------------
+    bob_ns = RemoteHacFileSystem("bob", bob, export_root="/work")
+    alice.mkdir("/bob")
+    alice.smount("/bob", bob_ns)
+    alice.smkdir("/everyone-on-fp", "fingerprint")
+    targets = {t for _c, t in alice.links("/everyone-on-fp").values()}
+    print("\nalice's /everyone-on-fp sees bob too:",
+          sorted(t for t in targets if t.startswith("bob://")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim so `python setup.py develop` works on environments without the
+`wheel` package (PEP 517 editable installs need it; this path does not).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""The content-based access (CBA) mechanism.
+
+The paper uses Glimpse — a two-level indexing scheme where the index maps
+words to *blocks* of files (not individual files), and candidate blocks are
+then scanned agrep-style to verify matches.  The index is small; search pays
+with some scanning.  This package is a faithful Python reconstruction:
+
+* :mod:`repro.cba.tokenizer` — word extraction;
+* :mod:`repro.cba.lexicon` — the term dictionary;
+* :mod:`repro.cba.queryast` / :mod:`repro.cba.queryparser` — the boolean
+  query language (terms, quoted phrases, AND/OR/NOT, parentheses,
+  ``word~k`` approximate terms, and ``/path`` directory references that HAC
+  resolves through its global UID map);
+* :mod:`repro.cba.glimpse` — the block-level inverted index;
+* :mod:`repro.cba.agrep` — per-document verification scans, including
+  bounded-edit-distance approximate matching and match-line extraction
+  (HAC's ``sact``);
+* :mod:`repro.cba.evaluator` — boolean evaluation of a query over a scope;
+* :mod:`repro.cba.engine` — the facade HAC talks to (the paper stresses its
+  CBA API is narrow enough to swap in any search system);
+* :mod:`repro.cba.incremental` — reindex planning from mtime snapshots.
+"""
+
+from repro.cba.engine import CBAEngine, Document
+from repro.cba.queryast import And, DirRef, Node, Not, Or, Phrase, Term
+from repro.cba.queryparser import parse_query
+from repro.cba.results import RemoteId, ResultSet
+
+__all__ = [
+    "CBAEngine",
+    "Document",
+    "And",
+    "DirRef",
+    "Node",
+    "Not",
+    "Or",
+    "Phrase",
+    "Term",
+    "parse_query",
+    "RemoteId",
+    "ResultSet",
+]

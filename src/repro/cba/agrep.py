@@ -1,0 +1,155 @@
+"""Per-document verification scans (the "agrep" half of Glimpse).
+
+The block index only narrows search to candidate files; every candidate is
+then scanned to verify the full query.  This module implements that scan:
+
+* :func:`matches` — does one document satisfy a (content-only) query AST?
+* :func:`matching_lines` — which lines carry the match?  This powers HAC's
+  ``sact`` command ("returns the information in the corresponding file that
+  matches the query of the directory").
+* :func:`within_distance` — bounded Levenshtein check for agrep-style
+  approximate terms (``word~k``), via a banded dynamic program.
+
+``DirRef`` nodes never reach this layer — the evaluator splits them out —
+so encountering one here is a programming error and raises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from typing import FrozenSet, Tuple
+
+from repro.cba.queryast import (
+    And,
+    Approx,
+    DirRef,
+    FieldTerm,
+    MatchAll,
+    Node,
+    Not,
+    Or,
+    Phrase,
+    Term,
+)
+from repro.cba.tokenizer import tokenize, tokenize_lines
+
+#: attribute pairs for documents without a transducer
+NO_PAIRS: FrozenSet[Tuple[str, str]] = frozenset()
+
+
+def within_distance(a: str, b: str, k: int) -> bool:
+    """True when Levenshtein(a, b) <= k, using a band of width 2k+1.
+
+    >>> within_distance("finger", "fingre", 1)
+    False
+    >>> within_distance("finger", "fingre", 2)
+    True
+    """
+    if abs(len(a) - len(b)) > k:
+        return False
+    if a == b:
+        return True
+    # classic banded DP; rows over a, columns over b
+    inf = k + 1
+    prev = list(range(len(b) + 1))
+    for i in range(1, len(a) + 1):
+        lo = max(1, i - k)
+        hi = min(len(b), i + k)
+        cur = [inf] * (len(b) + 1)
+        cur[0] = i if i <= k else inf
+        for j in range(lo, hi + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            cur[j] = min(
+                prev[j] + 1,       # deletion
+                cur[j - 1] + 1,    # insertion
+                prev[j - 1] + cost  # substitution
+            )
+        if min(min(cur[lo:hi + 1]), cur[0]) > k:
+            return False
+        prev = cur
+    return prev[len(b)] <= k
+
+
+def _has_phrase(tokens: Sequence[str], words: Sequence[str]) -> bool:
+    n = len(words)
+    if n == 0 or n > len(tokens):
+        return False
+    first = words[0]
+    for i, tok in enumerate(tokens[:len(tokens) - n + 1]):
+        if tok == first and list(tokens[i:i + n]) == list(words):
+            return True
+    return False
+
+
+def _has_approx(token_set: Set[str], word: str, k: int) -> bool:
+    if word in token_set:
+        return True
+    return any(within_distance(word, tok, k) for tok in token_set)
+
+
+def _eval(node: Node, tokens: List[str], token_set: Set[str],
+          pairs: FrozenSet[Tuple[str, str]] = NO_PAIRS) -> bool:
+    if isinstance(node, MatchAll):
+        return True
+    if isinstance(node, Term):
+        return node.word in token_set
+    if isinstance(node, FieldTerm):
+        return (node.field, node.value) in pairs
+    if isinstance(node, Phrase):
+        return _has_phrase(tokens, node.words)
+    if isinstance(node, Approx):
+        return _has_approx(token_set, node.word, node.k)
+    if isinstance(node, And):
+        return all(_eval(c, tokens, token_set, pairs) for c in node.children)
+    if isinstance(node, Or):
+        return any(_eval(c, tokens, token_set, pairs) for c in node.children)
+    if isinstance(node, Not):
+        return not _eval(node.child, tokens, token_set, pairs)
+    if isinstance(node, DirRef):
+        raise TypeError("DirRef reached the document scanner; "
+                        "the evaluator must resolve directory references")
+    raise TypeError(f"unknown query node: {type(node).__name__}")
+
+
+def matches(text: str, query: Node, pairs=NO_PAIRS) -> bool:
+    """Scan one document's text against a content-only query AST.
+
+    :param pairs: the document's transduced attribute/value pairs, for
+        :class:`FieldTerm` evaluation.
+    """
+    tokens = tokenize(text)
+    return _eval(query, tokens, set(tokens), frozenset(pairs))
+
+
+def matching_lines(text: str, query: Node) -> List[str]:
+    """The lines of *text* that carry the match.
+
+    A line qualifies when it satisfies at least one positive leaf of the
+    query (term/phrase/approx).  If the query has no positive leaves
+    (``NOT x`` alone, or the empty query), every line qualifies — there is
+    nothing specific to point at.
+    """
+    leaves = list(_positive_leaves(query))
+    lines = text.splitlines()
+    if not leaves:
+        return lines
+    out: List[str] = []
+    for line, tokens in zip(lines, tokenize_lines(text)):
+        token_set = set(tokens)
+        if any(_eval(leaf, tokens, token_set) for leaf in leaves):
+            out.append(line)
+    return out
+
+
+def _positive_leaves(node: Node):
+    """Term/Phrase/Approx/FieldTerm leaves not under a NOT."""
+    if isinstance(node, FieldTerm):
+        # at line granularity a field term is satisfied by its words
+        yield And([Term(node.field), Term(node.value)])
+    elif isinstance(node, (Term, Phrase, Approx)):
+        yield node
+    elif isinstance(node, (And, Or)):
+        for child in node.children:
+            yield from _positive_leaves(child)
+    # Not and DirRef contribute nothing positive

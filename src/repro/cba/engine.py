@@ -1,0 +1,329 @@
+"""The CBA engine facade — what HAC's narrow CBA API talks to.
+
+The engine owns the document registry (opaque keys → dense doc ids), the
+Glimpse block index, and the verification scanner.  HAC gives it a *loader*
+callback to fetch document text on demand, so the engine never stores
+contents: like real Glimpse, verification re-reads the files it scans
+(charging the simulated block device through whatever the loader does).
+
+The paper argues its CBA API is general enough to host any search system;
+ours is correspondingly small: ``index_document`` / ``remove_document`` /
+``update_document`` / ``reindex`` for maintenance, ``search`` for content
+queries over an optional scope bitmap, ``extract`` for ``sact``-style
+match-line retrieval.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.util.bitmap import Bitmap
+from repro.util.stats import Counters
+from repro.cba import agrep
+from repro.cba.glimpse import DEFAULT_NUM_BLOCKS, GlimpseIndex
+from repro.cba.incremental import ReindexPlan, plan_reindex
+from repro.cba.queryast import MatchAll, Node, has_field_terms
+from repro.cba.tokenizer import DEFAULT_STOPWORDS, index_terms
+from repro.cba.transducers import Transducer
+
+
+class Document(NamedTuple):
+    """Registry entry for one indexed document."""
+
+    doc_id: int
+    key: Hashable
+    path: str
+    mtime: float
+    size: int
+
+
+class CBAEngine:
+    """Glimpse-style content-based access over externally stored documents.
+
+    :param loader: ``loader(key) -> str`` fetches a document's current text.
+    :param num_blocks: Glimpse block count (index size / scan cost knob).
+    """
+
+    def __init__(self, loader: Callable[[Hashable], str],
+                 num_blocks: int = DEFAULT_NUM_BLOCKS,
+                 min_term_length: int = 2,
+                 stopwords: Optional[Set[str]] = None,
+                 transducer: Optional[Transducer] = None,
+                 cache_size: int = 64,
+                 counters: Optional[Counters] = None):
+        self.loader = loader
+        self.counters = counters if counters is not None else Counters()
+        self._stats = self.counters.scoped("engine")
+        self.index = GlimpseIndex(num_blocks=num_blocks, counters=self.counters)
+        self.min_term_length = min_term_length
+        self.stopwords = DEFAULT_STOPWORDS if stopwords is None else stopwords
+        #: optional SFS-style attribute extractor; enables field:value terms
+        self.transducer = transducer
+        self._docs: Dict[int, Document] = {}
+        self._by_key: Dict[Hashable, int] = {}
+        self._next_doc_id = 0
+        # SFS-style result cache (§5: SFS "caches the contents of different
+        # virtual directories to save query processing costs").  Keyed by
+        # (query, scope); any index mutation bumps the generation and the
+        # whole cache lapses — correctness first, reuse second.
+        self._cache: "OrderedDict[tuple, Bitmap]" = OrderedDict()
+        self._cache_capacity = cache_size
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+
+    def doc_by_id(self, doc_id: int) -> Optional[Document]:
+        return self._docs.get(doc_id)
+
+    def doc_by_key(self, key: Hashable) -> Optional[Document]:
+        doc_id = self._by_key.get(key)
+        return self._docs.get(doc_id) if doc_id is not None else None
+
+    def doc_id_of(self, key: Hashable) -> Optional[int]:
+        return self._by_key.get(key)
+
+    def all_docs(self) -> Bitmap:
+        return self.index.all_docs()
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._by_key
+
+    def mtime_snapshot(self) -> Dict[Hashable, float]:
+        """``{key: mtime}`` as of the last (re)index — the §2.4 snapshot."""
+        return {doc.key: doc.mtime for doc in self._docs.values()}
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def _terms_of(self, text: str, path: str = "") -> Set[str]:
+        terms = index_terms(text, min_length=self.min_term_length,
+                            stopwords=self.stopwords)
+        if self.transducer is not None:
+            terms |= {f"{field}:{value}"
+                      for field, value in self.transducer(path, text)}
+        return terms
+
+    def index_document(self, key: Hashable, path: str, mtime: float,
+                       text: Optional[str] = None) -> int:
+        """Add a new document; returns its doc id."""
+        if key in self._by_key:
+            raise ValueError(f"document already indexed: {key!r}")
+        if text is None:
+            text = self.loader(key)
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        self.index.add(doc_id, self._terms_of(text, path))
+        self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
+        self._by_key[key] = doc_id
+        self._invalidate_cache()
+        self._stats.add("indexed")
+        self._stats.add("indexed_bytes", len(text))
+        return doc_id
+
+    def remove_document(self, key: Hashable) -> int:
+        """Withdraw a document; returns the freed doc id."""
+        doc_id = self._by_key.pop(key, None)
+        if doc_id is None:
+            raise KeyError(f"document not indexed: {key!r}")
+        del self._docs[doc_id]
+        self.index.remove(doc_id)
+        self._invalidate_cache()
+        self._stats.add("removed")
+        return doc_id
+
+    def update_document(self, key: Hashable, path: str, mtime: float,
+                        text: Optional[str] = None) -> int:
+        """Re-tokenise a changed document in place (doc id preserved)."""
+        doc_id = self._by_key.get(key)
+        if doc_id is None:
+            raise KeyError(f"document not indexed: {key!r}")
+        if text is None:
+            text = self.loader(key)
+        self.index.update(doc_id, self._terms_of(text, path))
+        self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
+        self._invalidate_cache()
+        self._stats.add("updated")
+        return doc_id
+
+    def rename_document(self, key: Hashable, new_path: str) -> None:
+        """Update the display path (contents unchanged, no retokenising)."""
+        doc_id = self._by_key.get(key)
+        if doc_id is None:
+            raise KeyError(f"document not indexed: {key!r}")
+        self._docs[doc_id] = self._docs[doc_id]._replace(path=new_path)
+
+    def reindex(self, current: Iterable[Tuple[Hashable, str, float]],
+                previous: Optional[Dict[Hashable, float]] = None) -> ReindexPlan:
+        """Bring the index in line with *current* ``(key, path, mtime)`` files.
+
+        :param previous: restricts the comparison baseline — pass the subset
+            of :meth:`mtime_snapshot` covering the subtree being reindexed,
+            so documents outside it are not treated as removed (HAC's
+            "reindex any part of the file system", §2.4).
+
+        Returns the executed :class:`ReindexPlan` so callers can report how
+        much work the lazy data-consistency policy saved.
+        """
+        listing = {key: (path, mtime) for key, path, mtime in current}
+        baseline = self.mtime_snapshot() if previous is None else previous
+        plan = plan_reindex(baseline,
+                            {key: mtime for key, (_path, mtime) in listing.items()})
+        for key in plan.removed:
+            self.remove_document(key)
+        for key in plan.added:
+            path, mtime = listing[key]
+            self.index_document(key, path, mtime)
+        for key in plan.changed:
+            path, mtime = listing[key]
+            self.update_document(key, path, mtime)
+        # paths may drift without mtime changes (rename); refresh cheaply —
+        # unless a transducer derives terms from the name, in which case the
+        # document must be re-tokenised under its new path
+        for key, (path, mtime) in listing.items():
+            doc_id = self._by_key.get(key)
+            if doc_id is not None and self._docs[doc_id].path != path:
+                if self.transducer is not None:
+                    self.update_document(key, path, mtime)
+                else:
+                    self.rename_document(key, path)
+        self._stats.add("reindex_runs")
+        return plan
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _invalidate_cache(self) -> None:
+        if self._cache:
+            self._cache.clear()
+        self._generation += 1
+
+    def clear_query_cache(self) -> None:
+        """Drop cached query results (benchmarks use this to measure cold
+        costs — the real Glimpse binary starts cold on every invocation)."""
+        self._cache.clear()
+
+    def search(self, query: Node, scope: Optional[Bitmap] = None) -> Bitmap:
+        """Evaluate a *content-only* query; returns matching doc ids.
+
+        Two-level evaluation, exactly as in Glimpse: the block index nominates
+        candidate blocks, then every candidate document (restricted to
+        *scope* when given) is fetched through the loader and verified by the
+        agrep scanner.  ``MatchAll`` short-circuits without scanning.
+
+        Results are cached per ``(query, scope)`` until the next index
+        mutation — SFS's virtual-directory caching, valid here because
+        content changes only become visible at reindex time anyway (§2.4).
+        """
+        self._stats.add("searches")
+        universe = self.index.all_docs() if scope is None else scope
+        if isinstance(query, MatchAll):
+            return universe.copy()
+        cache_key = None
+        if self._cache_capacity > 0:
+            cache_key = (query, None if scope is None else scope.to_bytes())
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                self._stats.add("cache_hits")
+                return cached.copy()
+        blocks = self.index.candidate_blocks(query)
+        candidates = self.index.docs_in_blocks(blocks)
+        candidates &= universe
+        needs_pairs = self.transducer is not None and has_field_terms(query)
+        result = Bitmap()
+        for doc_id in candidates:
+            doc = self._docs.get(doc_id)
+            if doc is None:
+                continue
+            text = self.loader(doc.key)
+            self._stats.add("docs_scanned")
+            self._stats.add("bytes_scanned", len(text))
+            pairs = (frozenset(self.transducer(doc.path, text))
+                     if needs_pairs else agrep.NO_PAIRS)
+            if agrep.matches(text, query, pairs):
+                result.add(doc_id)
+        if cache_key is not None:
+            self._cache[cache_key] = result.copy()
+            if len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+        return result
+
+    def naive_search(self, query: Node, scope: Optional[Bitmap] = None) -> Bitmap:
+        """Scan every document in scope, bypassing the block index.
+
+        Exists to cross-check the index (property tests) and to quantify what
+        the two-level structure buys (ablation B).
+        """
+        universe = self.index.all_docs() if scope is None else scope
+        needs_pairs = self.transducer is not None and has_field_terms(query)
+        result = Bitmap()
+        for doc_id in universe:
+            doc = self._docs.get(doc_id)
+            if doc is None:
+                continue
+            self._stats.add("naive_docs_scanned")
+            text = self.loader(doc.key)
+            pairs = (frozenset(self.transducer(doc.path, text))
+                     if needs_pairs else agrep.NO_PAIRS)
+            if agrep.matches(text, query, pairs):
+                result.add(doc_id)
+        return result
+
+    def extract(self, key: Hashable, query: Node) -> List[str]:
+        """Match-carrying lines of one document (HAC's ``sact``)."""
+        return agrep.matching_lines(self.loader(key), query)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        """Approximate index footprint, including the registry."""
+        registry = sum(len(str(doc.path)) + 40 for doc in self._docs.values())
+        return self.index.index_size_bytes() + registry
+
+    # ------------------------------------------------------------------
+    # persistence (Glimpse writes its index files to disk; so can we)
+    # ------------------------------------------------------------------
+
+    def to_obj(self):
+        """Dump index + registry to plain primitives.
+
+        Document keys are assumed to be ``(str, int)`` pairs — the
+        ``(fsid, ino)`` keys HAC uses; generic callers with other key
+        shapes should persist their own registry.
+        """
+        return {
+            "index": self.index.to_obj(),
+            "docs": [[doc.doc_id, list(doc.key), doc.path, doc.mtime,
+                      doc.size] for doc in self._docs.values()],
+            "next": self._next_doc_id,
+        }
+
+    @classmethod
+    def from_obj(cls, obj, loader: Callable[[Hashable], str],
+                 transducer: Optional[Transducer] = None,
+                 counters: Optional[Counters] = None) -> "CBAEngine":
+        """Rebuild an engine from :meth:`to_obj` output without re-reading
+        or re-tokenising a single document."""
+        engine = cls(loader=loader, transducer=transducer, counters=counters)
+        engine.index = GlimpseIndex.from_obj(obj["index"],
+                                             counters=engine.counters)
+        for doc_id, raw_key, path, mtime, size in obj["docs"]:
+            key = (raw_key[0], raw_key[1])
+            engine._docs[doc_id] = Document(doc_id, key, path, mtime, size)
+            engine._by_key[key] = doc_id
+        engine._next_doc_id = obj["next"]
+        engine._stats.add("restored_docs", len(engine._docs))
+        return engine
+
+    def corpus_bytes(self) -> int:
+        return sum(doc.size for doc in self._docs.values())

@@ -1,0 +1,93 @@
+"""Term dictionary for the Glimpse index.
+
+Interns index terms to dense integer ids and tracks document frequency, so
+posting structures can key on small ints rather than strings.  Terms whose
+document frequency drops to zero are retired and their ids recycled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Lexicon:
+    """Bidirectional term ↔ id map with document-frequency counts."""
+
+    def __init__(self):
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: Dict[int, str] = {}
+        self._df: Dict[int, int] = {}
+        self._free_ids: List[int] = []
+        self._next_id = 0
+
+    def intern(self, term: str) -> int:
+        """Id for *term*, allocating one on first sight."""
+        tid = self._term_to_id.get(term)
+        if tid is None:
+            tid = self._free_ids.pop() if self._free_ids else self._next_id
+            if tid == self._next_id:
+                self._next_id += 1
+            self._term_to_id[term] = tid
+            self._id_to_term[tid] = term
+            self._df[tid] = 0
+        return tid
+
+    def lookup(self, term: str) -> Optional[int]:
+        """Id for *term* if known; never allocates."""
+        return self._term_to_id.get(term)
+
+    def term(self, tid: int) -> str:
+        return self._id_to_term[tid]
+
+    def add_occurrence(self, term: str) -> int:
+        tid = self.intern(term)
+        self._df[tid] += 1
+        return tid
+
+    def drop_occurrence(self, term: str) -> Optional[int]:
+        """Decrement df; retires the term at zero.  Returns its id (or None)."""
+        tid = self._term_to_id.get(term)
+        if tid is None:
+            return None
+        self._df[tid] -= 1
+        if self._df[tid] <= 0:
+            del self._term_to_id[term]
+            del self._id_to_term[tid]
+            del self._df[tid]
+            self._free_ids.append(tid)
+        return tid
+
+    def df(self, term: str) -> int:
+        tid = self._term_to_id.get(term)
+        return self._df.get(tid, 0) if tid is not None else 0
+
+    def __len__(self) -> int:
+        return len(self._term_to_id)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def terms(self) -> Iterator[Tuple[str, int]]:
+        """(term, df) pairs, unordered."""
+        for term, tid in self._term_to_id.items():
+            yield term, self._df[tid]
+
+    def approximate_bytes(self) -> int:
+        """Rough footprint for index-size reporting."""
+        return sum(len(t) + 12 for t in self._term_to_id)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_obj(self):
+        return {term: [tid, self._df[tid]]
+                for term, tid in self._term_to_id.items()}
+
+    @classmethod
+    def from_obj(cls, obj) -> "Lexicon":
+        lex = cls()
+        for term, (tid, df) in obj.items():
+            lex._term_to_id[term] = tid
+            lex._id_to_term[tid] = term
+            lex._df[tid] = df
+        lex._next_id = max(lex._id_to_term, default=-1) + 1
+        return lex

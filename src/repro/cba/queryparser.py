@@ -1,0 +1,212 @@
+"""Recursive-descent parser for the HAC query language.
+
+Grammar (case-insensitive keywords, implicit AND by juxtaposition)::
+
+    query   := or_expr
+    or_expr := and_expr ( OR and_expr )*
+    and_expr:= unary ( [AND] unary )*        # juxtaposition means AND
+    unary   := NOT unary | primary
+    primary := '(' query ')' | '"' words '"' | PATH | WORD['~'K] | '*'
+
+``PATH`` is any token starting with ``/`` — a directory reference.  The
+parser needs a ``resolve_dir`` callback mapping a path to its UID (HAC
+passes its global directory map); parsing a path that resolves to no known
+directory raises :class:`repro.errors.UnknownDirectoryReference`.
+
+Examples::
+
+    fingerprint AND NOT murder
+    "image processing" OR (fbi crime~1)
+    fingerprint AND /projects/fbi
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional
+
+from repro.errors import QuerySyntaxError, UnknownDirectoryReference
+from repro.cba.queryast import (
+    And,
+    Approx,
+    DirRef,
+    FieldTerm,
+    MatchAll,
+    Node,
+    Not,
+    Or,
+    Phrase,
+    Term,
+)
+from repro.cba.tokenizer import tokenize
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<phrase>"[^"]*")
+  | (?P<star>\*)
+  | (?P<path>/[^\s()"]*)
+  | (?P<pair>[A-Za-z0-9_]+:[A-Za-z0-9_]+)
+  | (?P<word>[A-Za-z0-9_]+(?:~[0-9]+)?)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self):
+        return f"_Token({self.kind}, {self.text!r}, {self.pos})"
+
+
+def _lex(query: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(query):
+        m = _TOKEN_RE.match(query, pos)
+        if m is None:
+            raise QuerySyntaxError(query, pos, f"unexpected character {query[pos]!r}")
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            text = m.group(0)
+            if kind == "word" and text.lower() in _KEYWORDS:
+                kind = text.lower()
+            tokens.append(_Token(kind, text, pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, query: str,
+                 resolve_dir: Optional[Callable[[str], Optional[int]]]):
+        self.query = query
+        self.resolve_dir = resolve_dir
+        self.tokens = _lex(query)
+        self.index = 0
+
+    def peek(self) -> Optional[_Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def advance(self) -> _Token:
+        tok = self.tokens[self.index]
+        self.index += 1
+        return tok
+
+    def expect(self, kind: str) -> _Token:
+        tok = self.peek()
+        if tok is None or tok.kind != kind:
+            pos = tok.pos if tok else len(self.query)
+            raise QuerySyntaxError(self.query, pos, f"expected {kind}")
+        return self.advance()
+
+    # grammar ----------------------------------------------------------------
+
+    def parse(self) -> Node:
+        if not self.tokens:
+            return MatchAll()
+        node = self.or_expr()
+        tok = self.peek()
+        if tok is not None:
+            raise QuerySyntaxError(self.query, tok.pos,
+                                   f"unexpected {tok.text!r}")
+        return node
+
+    def or_expr(self) -> Node:
+        operands = [self.and_expr()]
+        while True:
+            tok = self.peek()
+            if tok is not None and tok.kind == "or":
+                self.advance()
+                operands.append(self.and_expr())
+            else:
+                break
+        return operands[0] if len(operands) == 1 else Or(operands)
+
+    _PRIMARY_STARTERS = {"lparen", "phrase", "path", "word", "pair",
+                         "star", "not"}
+
+    def and_expr(self) -> Node:
+        operands = [self.unary()]
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            if tok.kind == "and":
+                self.advance()
+                operands.append(self.unary())
+            elif tok.kind in self._PRIMARY_STARTERS:
+                # juxtaposition: "fingerprint image" == fingerprint AND image
+                operands.append(self.unary())
+            else:
+                break
+        return operands[0] if len(operands) == 1 else And(operands)
+
+    def unary(self) -> Node:
+        tok = self.peek()
+        if tok is not None and tok.kind == "not":
+            self.advance()
+            return Not(self.unary())
+        return self.primary()
+
+    def primary(self) -> Node:
+        tok = self.peek()
+        if tok is None:
+            raise QuerySyntaxError(self.query, len(self.query), "expected operand")
+        if tok.kind == "lparen":
+            self.advance()
+            node = self.or_expr()
+            self.expect("rparen")
+            return node
+        if tok.kind == "phrase":
+            self.advance()
+            words = tokenize(tok.text[1:-1])
+            if not words:
+                raise QuerySyntaxError(self.query, tok.pos, "empty phrase")
+            return Phrase(words) if len(words) > 1 else Term(words[0])
+        if tok.kind == "star":
+            self.advance()
+            return MatchAll()
+        if tok.kind == "path":
+            self.advance()
+            if self.resolve_dir is None:
+                raise QuerySyntaxError(
+                    self.query, tok.pos,
+                    "directory references are not allowed in this context")
+            uid = self.resolve_dir(tok.text.rstrip("/") or "/")
+            if uid is None:
+                raise UnknownDirectoryReference(tok.text)
+            return DirRef(uid)
+        if tok.kind == "pair":
+            self.advance()
+            field, _, value = tok.text.partition(":")
+            return FieldTerm(field, value)
+        if tok.kind == "word":
+            self.advance()
+            if "~" in tok.text:
+                word, _, k = tok.text.partition("~")
+                return Approx(word, int(k))
+            return Term(tok.text)
+        raise QuerySyntaxError(self.query, tok.pos, f"unexpected {tok.text!r}")
+
+
+def parse_query(query: str,
+                resolve_dir: Optional[Callable[[str], Optional[int]]] = None
+                ) -> Node:
+    """Parse query text to an AST.
+
+    :param resolve_dir: maps a ``/path`` reference to the directory's UID
+        (or None if unknown).  Omit to forbid directory references — remote
+        name spaces use this mode, since their query language has no notion
+        of the local hierarchy.
+    """
+    return _Parser(query, resolve_dir).parse()

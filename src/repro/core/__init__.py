@@ -1,0 +1,27 @@
+"""The HAC core — the paper's primary contribution.
+
+HAC ("Hierarchy And Content") extends a hierarchical file system with
+content-based access while keeping every hierarchical feature intact.  The
+pieces, mapped to the paper's sections:
+
+* :mod:`repro.core.links` — the three-way classification of symbolic links
+  in a semantic directory: *permanent* (user-created), *transient*
+  (query-produced), *prohibited* (user-deleted tombstones) — §2.3;
+* :mod:`repro.core.semdir` — per-directory HAC state and its write-through
+  persistence (the MetaStore), which is exactly the extra disk I/O the paper
+  charges to the Andrew benchmark's Makedir phase — §4;
+* :mod:`repro.core.depgraph` — the dependency DAG over directories
+  (hierarchical edges plus query references), with cycle rejection and
+  topological re-evaluation order — §2.5;
+* :mod:`repro.core.scope` — what scope each directory *provides* — §2.3;
+* :mod:`repro.core.consistency` — the scope-consistency algorithm — §2.3;
+* :mod:`repro.core.datacon` — lazy data consistency: periodic or on-demand
+  reindexing that settles everything at once — §2.4;
+* :mod:`repro.core.hacfs` — :class:`HacFileSystem`, the user-level
+  interposition layer that ties it all together — §4.
+"""
+
+from repro.core.hacfs import HacFileSystem
+from repro.core.links import LinkSets, Target
+
+__all__ = ["HacFileSystem", "LinkSets", "Target"]

@@ -1,0 +1,64 @@
+"""Data consistency — the lazy reindex policy (paper §2.4).
+
+Scope inconsistencies are removed "as soon as possible"; *data*
+inconsistencies (a file was edited, created, deleted, or renamed so that
+query results are stale) are settled only when the CBA mechanism reindexes:
+periodically ("say, once a day or once an hour, determined by the user"),
+or on demand, for any part of the file system.
+
+:class:`ReindexScheduler` implements exactly that policy on the virtual
+clock: a user-settable period drives full syncs; ``sync(path)`` reindexes
+one subtree right now (the "update certain semantic directories as soon as
+new mail comes in" use case).  Every run records the executed
+:class:`~repro.cba.incremental.ReindexPlan` so tests and benches can verify
+how much work laziness saved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.cba.incremental import ReindexPlan
+from repro.util.clock import Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hacfs import HacFileSystem
+
+
+class ReindexScheduler:
+    """Periodic + on-demand reindexing for one HAC file system."""
+
+    def __init__(self, hacfs: "HacFileSystem"):
+        self.hacfs = hacfs
+        self._timer: Optional[Timer] = None
+        self.period: Optional[float] = None
+        #: (virtual time, path, plan) of every run, newest last
+        self.history: List[Tuple[float, str, ReindexPlan]] = []
+
+    # ------------------------------------------------------------------
+
+    def set_period(self, seconds: Optional[float]) -> None:
+        """(Re)arm the periodic full sync; ``None`` disables it."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.period = seconds
+        if seconds is not None:
+            self._timer = self.hacfs.clock.schedule_periodic(
+                seconds, self._fire, name="hac-reindex")
+
+    def _fire(self) -> None:
+        self.sync("/")
+
+    def sync(self, path: str = "/") -> ReindexPlan:
+        """Reindex *path*'s subtree and settle all consistency there."""
+        plan = self.hacfs.ssync(path)
+        self.history.append((self.hacfs.clock.now, path, plan))
+        return plan
+
+    @property
+    def runs(self) -> int:
+        return len(self.history)
+
+    def cancel(self) -> None:
+        self.set_period(None)

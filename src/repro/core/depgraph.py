@@ -1,0 +1,238 @@
+"""The dependency DAG over directories (paper §2.5).
+
+``new`` *depends on* ``old`` when ``old``'s scope feeds ``new``'s query
+result.  Two edge kinds exist:
+
+* **hierarchical** — every directory depends on its parent (under the
+  covers, the child's effective query is ``<query> AND <parent>``);
+* **reference** — a query that names another directory's path depends on
+  that directory, wherever it sits in the tree.
+
+Dependencies are transitive; cycles are rejected at the moment a query
+would create one ("we do not allow cycles to exist in this graph for
+obvious reasons").  When a directory's provided scope changes, every
+directory reachable along dependency edges must be re-evaluated — in
+topological order, so each is evaluated exactly once with its inputs
+already settled.  The root (UID 0) depends on nothing and precedes
+everything, exactly as the paper requires.
+
+Nodes are directory UIDs from the global map, so renames never disturb the
+graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import DependencyCycle
+
+ROOT_UID = 0
+
+HIERARCHY = "hierarchy"
+REFERENCE = "reference"
+
+
+class DependencyGraph:
+    """Directed graph: provider → dependent, with labelled edge kinds."""
+
+    def __init__(self):
+        #: dependent uid → {provider uid: edge kind}
+        self._providers: Dict[int, Dict[int, str]] = {ROOT_UID: {}}
+        #: provider uid → set of dependent uids
+        self._dependents: Dict[int, Set[int]] = {ROOT_UID: set()}
+
+    # ------------------------------------------------------------------
+    # node / edge maintenance
+    # ------------------------------------------------------------------
+
+    def add_node(self, uid: int) -> None:
+        if uid in self._providers:
+            raise ValueError(f"node {uid} already in dependency graph")
+        self._providers[uid] = {}
+        self._dependents[uid] = set()
+
+    def remove_node(self, uid: int) -> None:
+        """Drop a directory: its edges go with it; queries that referenced it
+        now have a dangling reference (resolved as empty by the evaluator)."""
+        if uid == ROOT_UID:
+            raise ValueError("cannot remove the root")
+        for provider in list(self._providers.pop(uid, {})):
+            self._dependents[provider].discard(uid)
+        for dependent in list(self._dependents.pop(uid, set())):
+            self._providers[dependent].pop(uid, None)
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._providers
+
+    def nodes(self) -> List[int]:
+        return list(self._providers)
+
+    def set_hierarchy_edge(self, child: int, parent: int) -> None:
+        """(Re)attach *child* under *parent*; replaces any previous one."""
+        old_parent = None
+        for provider, kind in self._providers[child].items():
+            if kind == HIERARCHY:
+                old_parent = provider
+                break
+        if old_parent is not None:
+            # a reference edge to the same provider survives independently
+            del self._providers[child][old_parent]
+            self._dependents[old_parent].discard(child)
+        if parent == child:
+            raise DependencyCycle(str(child), [child, child])
+        self._check_no_path(child, parent, adding=HIERARCHY)
+        self._providers[child][parent] = HIERARCHY
+        self._dependents[parent].add(child)
+
+    def set_reference_edges(self, dependent: int, providers: Iterable[int]) -> None:
+        """Replace *dependent*'s reference edges with the given provider set
+        (called whenever its query changes)."""
+        wanted = set(providers)
+        wanted.discard(ROOT_UID)  # everything depends on root implicitly
+        current = {p for p, kind in self._providers[dependent].items()
+                   if kind == REFERENCE}
+        for provider in wanted - current:
+            if provider == dependent:
+                raise DependencyCycle(str(dependent), [dependent, dependent])
+            if provider not in self._providers:
+                continue  # dangling reference: tolerated, resolves empty
+            self._check_no_path(dependent, provider, adding=REFERENCE)
+        for provider in current - wanted:
+            del self._providers[dependent][provider]
+            self._dependents[provider].discard(dependent)
+        for provider in wanted - current:
+            if provider not in self._providers:
+                continue
+            self._providers[dependent][provider] = REFERENCE
+            self._dependents[provider].add(dependent)
+
+    def _check_no_path(self, src: int, dst: int, adding: str) -> None:
+        """Adding dst→src requires no existing path src→dst (else a cycle)."""
+        if src == dst:
+            raise DependencyCycle(str(src), [src, src])
+        seen = {src}
+        frontier = deque([src])
+        while frontier:
+            cur = frontier.popleft()
+            for dependent in self._dependents.get(cur, ()):
+                if dependent == dst:
+                    raise DependencyCycle(
+                        str(dst), self._find_path(src, dst) + [src])
+                if dependent not in seen:
+                    seen.add(dependent)
+                    frontier.append(dependent)
+
+    def _find_path(self, src: int, dst: int) -> List[int]:
+        """A dependency path src ⇝ dst, for cycle diagnostics."""
+        parent: Dict[int, int] = {}
+        frontier = deque([src])
+        while frontier:
+            cur = frontier.popleft()
+            for dependent in self._dependents.get(cur, ()):
+                if dependent not in parent:
+                    parent[dependent] = cur
+                    if dependent == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(parent[path[-1]])
+                        return list(reversed(path))
+                    frontier.append(dependent)
+        return [src, dst]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def providers_of(self, uid: int) -> Dict[int, str]:
+        return dict(self._providers.get(uid, {}))
+
+    def dependents_of(self, uid: int) -> Set[int]:
+        return set(self._dependents.get(uid, set()))
+
+    def hierarchy_parent(self, uid: int) -> Optional[int]:
+        for provider, kind in self._providers.get(uid, {}).items():
+            if kind == HIERARCHY:
+                return provider
+        return None
+
+    # ------------------------------------------------------------------
+    # evaluation order
+    # ------------------------------------------------------------------
+
+    def affected_order(self, start: int, include_start: bool = False) -> List[int]:
+        """Every transitive dependent of *start*, in topological order.
+
+        The order is computed by Kahn's algorithm restricted to the affected
+        subgraph, so each affected directory appears after all of its
+        affected providers — the paper's requirement for correct
+        re-evaluation.
+        """
+        affected: Set[int] = set()
+        frontier = deque([start])
+        while frontier:
+            cur = frontier.popleft()
+            for dependent in self._dependents.get(cur, ()):
+                if dependent not in affected:
+                    affected.add(dependent)
+                    frontier.append(dependent)
+        if include_start:
+            affected.add(start)
+        return self._topo_sort(affected)
+
+    def full_order(self) -> List[int]:
+        """Topological order of the whole graph (global re-evaluation)."""
+        return self._topo_sort(set(self._providers))
+
+    def topo_order(self, nodes: Iterable[int]) -> List[int]:
+        """Topological order restricted to *nodes* (unknown uids ignored)."""
+        return self._topo_sort({n for n in nodes if n in self._providers})
+
+    def _topo_sort(self, nodes: Set[int]) -> List[int]:
+        indeg = {n: 0 for n in nodes}
+        for n in nodes:
+            for provider in self._providers.get(n, {}):
+                if provider in nodes:
+                    indeg[n] += 1
+        ready = deque(sorted(n for n, d in indeg.items() if d == 0))
+        order: List[int] = []
+        while ready:
+            cur = ready.popleft()
+            order.append(cur)
+            for dependent in sorted(self._dependents.get(cur, ())):
+                if dependent in indeg and dependent in nodes:
+                    indeg[dependent] -= 1
+                    if indeg[dependent] == 0:
+                        ready.append(dependent)
+        if len(order) != len(nodes):
+            leftovers = sorted(nodes - set(order))
+            raise DependencyCycle(str(leftovers[0]), leftovers)
+        return order
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_obj(self):
+        return {
+            str(dep): {str(p): kind for p, kind in providers.items()}
+            for dep, providers in self._providers.items()
+        }
+
+    @classmethod
+    def from_obj(cls, obj) -> "DependencyGraph":
+        graph = cls()
+        for dep_s, providers in obj.items():
+            dep = int(dep_s)
+            if dep not in graph._providers:
+                graph._providers[dep] = {}
+                graph._dependents.setdefault(dep, set())
+        for dep_s, providers in obj.items():
+            dep = int(dep_s)
+            for p_s, kind in providers.items():
+                provider = int(p_s)
+                graph._providers.setdefault(provider, {})
+                graph._dependents.setdefault(provider, set())
+                graph._providers[dep][provider] = kind
+                graph._dependents[provider].add(dep)
+        return graph

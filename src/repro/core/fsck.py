@@ -1,0 +1,189 @@
+"""hacfsck — structural self-audit of a HAC file system.
+
+A user-level file system that maintains five interlinked structures (VFS
+tree, global UID map, per-directory state, dependency graph, content index)
+needs a way to prove they still agree.  ``hacfsck`` walks all of them and
+reports every disagreement as a typed :class:`Finding`; an empty report is
+the invariant "everything HAC believes is true of the tree".
+
+Checks:
+
+* **map↔tree** — every registered path is a live directory, every live
+  directory is registered, no duplicate UIDs;
+* **state** — every registered directory owns a MetaStore record (and no
+  orphan records exist);
+* **graph** — every directory is a graph node with a hierarchy edge to its
+  registered parent; no dangling nodes; the graph is acyclic (topological
+  sort succeeds);
+* **links** — every tracked link name is a live symlink in its directory,
+  its text agrees with the tracked target (remote URIs, or the target's
+  current path for local files), and no *tracked-as-transient* entry is
+  missing from the directory;
+* **index** — every indexed document's key resolves to a live file
+  (stale entries are legal between syncs — reported as ``stale-doc`` with
+  severity "info" — but ino collisions are not).
+
+``repair=True`` fixes what is safely fixable: drops orphan state records,
+re-materialises missing transient links, removes tracked entries whose
+symlink vanished.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, TYPE_CHECKING
+
+from repro.util import pathutil
+from repro.errors import DependencyCycle
+from repro.vfs.walker import walk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hacfs import HacFileSystem
+
+
+class Finding(NamedTuple):
+    """One disagreement between HAC's structures."""
+
+    severity: str   # "error" | "warn" | "info"
+    kind: str       # stable machine-readable tag
+    path: str       # where
+    detail: str     # human-readable explanation
+
+    def __str__(self):
+        return f"[{self.severity}] {self.kind} {self.path}: {self.detail}"
+
+
+def hacfsck(hacfs: "HacFileSystem", repair: bool = False) -> List[Finding]:
+    """Audit (and optionally repair) every cross-structure invariant."""
+    findings: List[Finding] = []
+    findings += _check_map_vs_tree(hacfs)
+    findings += _check_states(hacfs, repair)
+    findings += _check_graph(hacfs)
+    findings += _check_links(hacfs, repair)
+    findings += _check_index(hacfs)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# individual passes
+# ----------------------------------------------------------------------
+
+def _live_dirs(hacfs) -> List[str]:
+    return [dirpath for dirpath, _d, _f in walk(hacfs.fs, "/")]
+
+
+def _check_map_vs_tree(hacfs) -> List[Finding]:
+    out: List[Finding] = []
+    live = set(_live_dirs(hacfs))
+    seen_uids = set()
+    for uid, path in list(hacfs.dirmap.items()):
+        if uid in seen_uids:
+            out.append(Finding("error", "dup-uid", path,
+                               f"uid {uid} registered twice"))
+        seen_uids.add(uid)
+        if path not in live:
+            out.append(Finding("error", "ghost-path", path,
+                               f"registered (uid {uid}) but not a live directory"))
+    for path in sorted(live):
+        if hacfs.dirmap.uid_of(path) is None:
+            out.append(Finding("error", "unregistered-dir", path,
+                               "live directory missing from the global map"))
+    return out
+
+
+def _check_states(hacfs, repair: bool) -> List[Finding]:
+    out: List[Finding] = []
+    registered = {uid for uid, _p in hacfs.dirmap.items()}
+    for uid in registered:
+        if hacfs.meta.get(uid) is None:
+            out.append(Finding("error", "missing-state",
+                               hacfs.dirmap.path_of(uid) or f"uid:{uid}",
+                               "registered directory has no MetaStore record"))
+    for uid in list(hacfs.meta.uids()):
+        if uid not in registered:
+            path = f"uid:{uid}"
+            out.append(Finding("warn", "orphan-state", path,
+                               "MetaStore record for an unregistered directory"))
+            if repair:
+                hacfs.meta.drop(uid)
+    return out
+
+
+def _check_graph(hacfs) -> List[Finding]:
+    out: List[Finding] = []
+    registered = {uid for uid, _p in hacfs.dirmap.items()}
+    for uid in registered:
+        if uid not in hacfs.depgraph:
+            out.append(Finding("error", "missing-node",
+                               hacfs.dirmap.path_of(uid) or f"uid:{uid}",
+                               "directory absent from the dependency graph"))
+            continue
+        path = hacfs.dirmap.path_of(uid)
+        if uid == 0 or path is None:
+            continue
+        parent_uid = hacfs.dirmap.uid_of(pathutil.dirname(path))
+        actual = hacfs.depgraph.hierarchy_parent(uid)
+        if parent_uid is not None and actual != parent_uid:
+            out.append(Finding("error", "bad-hierarchy-edge", path,
+                               f"graph parent {actual}, map parent {parent_uid}"))
+    for uid in hacfs.depgraph.nodes():
+        if uid not in registered:
+            out.append(Finding("warn", "orphan-node", f"uid:{uid}",
+                               "graph node for an unregistered directory"))
+    try:
+        hacfs.depgraph.full_order()
+    except DependencyCycle as exc:
+        out.append(Finding("error", "cycle", "/", str(exc)))
+    return out
+
+
+def _check_links(hacfs, repair: bool) -> List[Finding]:
+    out: List[Finding] = []
+    for uid, path in list(hacfs.dirmap.items()):
+        state = hacfs.meta.get(uid)
+        if state is None:
+            continue
+        tracked = dict(state.links.permanent)
+        tracked.update(state.links.transient)
+        for name, target in tracked.items():
+            entry = pathutil.join(path, name)
+            if not hacfs.fs.islink(entry):
+                kind = ("missing-transient"
+                        if name in state.links.transient else "missing-permanent")
+                out.append(Finding("error", kind, entry,
+                                   f"tracked link has no symlink ({target})"))
+                if repair:
+                    state.links.forget(name)
+                    hacfs.meta.flush(uid)
+                continue
+            text = hacfs.fs.readlink(entry)
+            expected = (target.remote_id().uri() if target.is_remote
+                        else hacfs.path_for_target(target))
+            if expected is None:
+                out.append(Finding("info", "dangling-target", entry,
+                                   f"target {target} no longer resolves"))
+            elif text != expected:
+                out.append(Finding("warn", "stale-link-text", entry,
+                                   f"symlink says {text!r}, target lives at "
+                                   f"{expected!r}"))
+                if repair:
+                    hacfs.fs.unlink(entry)
+                    hacfs.fs.symlink(expected, entry)
+    return out
+
+
+def _check_index(hacfs) -> List[Finding]:
+    out: List[Finding] = []
+    seen_keys = set()
+    for key in hacfs.engine.mtime_snapshot():
+        if key in seen_keys:
+            out.append(Finding("error", "dup-doc", str(key),
+                               "document key indexed twice"))
+        seen_keys.add(key)
+        doc = hacfs.engine.doc_by_key(key)
+        fsid, ino = key
+        entry = hacfs._fs_registry.get(fsid)
+        node = entry[0].node_by_ino(ino) if entry else None
+        if node is None or not node.is_file:
+            out.append(Finding("info", "stale-doc", doc.path if doc else str(key),
+                               "indexed file no longer exists (settles at sync)"))
+    return out

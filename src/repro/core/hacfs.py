@@ -1,0 +1,777 @@
+"""HacFileSystem — the user-level interposition layer (paper §4).
+
+The paper implemented HAC as a dynamically linked library intercepting all
+file-system calls for a user's personal name space, with no kernel changes.
+This class is that library: every user-visible operation goes through it,
+and each one carries the extra HAC work the paper describes:
+
+* ``mkdir`` also registers the directory in the global map, creates and
+  persists its (empty) query/link-set record, and adds a node to the
+  dependency graph — the Makedir overhead of Table 1;
+* ``create`` also initialises the attribute-cache entry — the Copy
+  overhead;
+* ``stat`` consults the attribute cache — the Scan speed-up;
+* ``unlink`` of a link in a semantic directory records a *prohibition*;
+* ``symlink`` into a semantic directory records a *permanent* link;
+* ``rename`` updates the global UID map (queries referencing the moved
+  directory stay valid) and triggers the scope-consistency cascade;
+* the semantic command set — ``smkdir``, ``set_query``/``get_query``,
+  ``ssync``, ``sact``, ``smount`` — extends the usual commands.
+
+File *content* changes (create/write/delete) deliberately do **not**
+re-evaluate queries: data consistency is settled at reindex time (§2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    FileNotFound,
+    InvalidArgument,
+    NotASemanticDirectory,
+)
+from repro.util import pathutil
+from repro.util.clock import VirtualClock
+from repro.util.idmap import GlobalDirectoryMap
+from repro.util.stats import Counters
+from repro.vfs.attrcache import AttributeCache
+from repro.vfs.fd import FDTable
+from repro.vfs.filesystem import FileSystem, StatResult
+from repro.vfs.inode import FileNode, SymlinkNode
+from repro.vfs.walker import walk
+from repro.cba import agrep
+from repro.cba.engine import CBAEngine
+from repro.cba.incremental import ReindexPlan
+from repro.cba.queryast import content_projection
+from repro.cba.queryparser import parse_query
+from repro.cba.transducers import default_transducer
+from repro.core.consistency import ConsistencyManager
+from repro.core.datacon import ReindexScheduler
+from repro.core.depgraph import DependencyGraph
+from repro.core.links import Target
+from repro.core.scope import ScopeResolver
+from repro.core.semdir import MetaStore
+from repro.core.watch import WatchManager
+from repro.remote.namespace import NameSpace
+from repro.remote.semmount import SemanticMountTable
+
+
+class HacFileSystem:
+    """A personal name space with both path-name and content-based access."""
+
+    def __init__(self, fs: Optional[FileSystem] = None,
+                 clock: Optional[VirtualClock] = None,
+                 counters: Optional[Counters] = None,
+                 num_blocks: int = 64,
+                 attr_cache_capacity: int = 256):
+        self.counters = counters if counters is not None else Counters()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.fs = fs if fs is not None else FileSystem(
+            name="hac", clock=self.clock, counters=self.counters)
+        self._hac = self.counters.scoped("hac")
+        self.dirmap = GlobalDirectoryMap()
+        self.meta = MetaStore(self.fs.device)
+        self.depgraph = DependencyGraph()
+        self.engine = CBAEngine(loader=self._load_doc, num_blocks=num_blocks,
+                                transducer=default_transducer,
+                                counters=self.counters)
+        self.semmounts = SemanticMountTable(uid_of=self.dirmap.uid_of,
+                                            path_of=self.dirmap.path_of)
+        self.scopes = ScopeResolver(self)
+        self.consistency = ConsistencyManager(self)
+        self.scheduler = ReindexScheduler(self)
+        self.watches = WatchManager(self)
+        self.attrcache = AttributeCache(capacity=attr_cache_capacity,
+                                        counters=self.counters)
+        #: path → (fsid, ino, type) companion to the attribute cache
+        self._stat_identity: Dict[str, Tuple[str, int, object]] = {}
+        self.fdtable = FDTable()
+        #: descriptor table the engine loader reads documents through
+        self._loader_fds = FDTable()
+        #: fsid → (FileSystem, mount prefix in the host name space)
+        self._fs_registry: Dict[str, Tuple[FileSystem, str]] = {
+            self.fs.fsid: (self.fs, "")
+        }
+        # the root's (empty) HAC state — uid 0 is pre-registered in the map
+        self.meta.create(GlobalDirectoryMap.ROOT_UID)
+        self._persist_maps()
+
+    # ==================================================================
+    # plumbing
+    # ==================================================================
+
+    def _load_doc(self, key) -> str:
+        """Engine loader: fetch a document's current text by (fsid, ino).
+
+        The fetch goes through the user-level library like any other access
+        (§4): the file's name is resolved in the personal name space before
+        the data is read — this is precisely why indexing and searching
+        through HAC cost more than running Glimpse directly (Tables 3/4).
+        """
+        fsid, ino = key
+        entry = self._fs_registry.get(fsid)
+        if entry is None:
+            return ""
+        owner, _prefix = entry
+        node = owner.node_by_ino(ino)
+        if not isinstance(node, FileNode):
+            return ""
+        path = owner.path_of_ino(ino)
+        if path is not None:
+            # library-level resolution, then a native open/read/close cycle
+            try:
+                owner.resolve(path)
+                fd = owner.open(self._loader_fds, path, "r")
+                try:
+                    data = owner.read(self._loader_fds, fd)
+                finally:
+                    owner.close(self._loader_fds, fd)
+                return data.decode("utf-8", errors="replace")
+            except Exception:
+                pass
+        owner.device.charge_read(len(node.data))
+        return bytes(node.data).decode("utf-8", errors="replace")
+
+    def path_for_target(self, target: Target) -> Optional[str]:
+        """Current host-name-space path of a local target, if it is alive."""
+        if not target.is_local:
+            return None
+        entry = self._fs_registry.get(target.realm)
+        if entry is None:
+            return None
+        owner, prefix = entry
+        inner = owner.path_of_ino(target.ino)
+        if inner is None:
+            return None
+        return pathutil.join(prefix, inner.lstrip("/")) if prefix else inner
+
+    def _canonical_dir(self, path: str) -> str:
+        """The registered (symlink-free) path of an existing directory."""
+        res = self.fs.resolve(path)
+        prefix = self._fs_registry.get(res.fs.fsid, (None, None))[1]
+        inner = res.fs.path_of_ino(res.node.ino)
+        if inner is None:
+            return pathutil.normalize(path)
+        if prefix:
+            return pathutil.join(prefix, inner.lstrip("/")) if inner != "/" else prefix
+        return inner
+
+    def _uid_of_dir(self, path: str) -> int:
+        uid = self.dirmap.uid_of(self._canonical_dir(path))
+        if uid is None:
+            raise FileNotFound(path, "directory unknown to HAC")
+        return uid
+
+    def _chain_uids(self, dirpath: str) -> List[int]:
+        """UIDs of every directory from the root down to *dirpath*."""
+        uids: List[int] = []
+        canon = self._canonical_dir(dirpath)
+        for p in list(pathutil.ancestors(canon)) + [canon]:
+            uid = self.dirmap.uid_of(p)
+            if uid is not None:
+                uids.append(uid)
+        return uids
+
+    def _persist_maps(self) -> None:
+        self.meta.flush_aux("globalmap",
+                            {str(u): p for u, p in self.dirmap.items()})
+        self.meta.flush_aux("depgraph", self.depgraph.to_obj())
+
+    def _library_resolve(self, path: str) -> str:
+        """The §4 interposition cost: HAC is a user-level library that
+        resolves every path in the personal name space before the native
+        file system resolves it again.  Returns the normalised path."""
+        norm = pathutil.normalize(path)
+        try:
+            self.fs.resolve(pathutil.dirname(norm))
+        except Exception:
+            pass  # the real operation will raise the precise error
+        return norm
+
+    def _invalidate_attrs(self, norm: str) -> None:
+        self.attrcache.invalidate(norm)
+        self._stat_identity.pop(norm, None)
+
+    def _clear_attrs(self) -> None:
+        self.attrcache.clear()
+        self._stat_identity.clear()
+
+    def _state_of(self, path: str):
+        uid = self._uid_of_dir(path)
+        return uid, self.meta.require(uid)
+
+    # ==================================================================
+    # intercepted hierarchical operations
+    # ==================================================================
+
+    def mkdir(self, path: str, mode: int = 0o755) -> StatResult:
+        """Create a directory plus its HAC bookkeeping (map, state, node)."""
+        self._hac.add("mkdir")
+        stat = self.fs.mkdir(path, mode=mode)
+        canon = self._canonical_dir(path)
+        uid = self.dirmap.register(canon)
+        self.depgraph.add_node(uid)
+        parent_uid = self.dirmap.uid_of(pathutil.dirname(canon))
+        if parent_uid is not None:
+            self.depgraph.set_hierarchy_edge(uid, parent_uid)
+        self.meta.create(uid)
+        self._persist_maps()
+        return stat
+
+    def makedirs(self, path: str, mode: int = 0o755) -> None:
+        norm = pathutil.normalize(path)
+        built = "/"
+        for comp in pathutil.split_components(norm):
+            built = pathutil.join(built, comp)
+            if not self.fs.exists(built):
+                self.mkdir(built, mode=mode)
+
+    def rmdir(self, path: str) -> None:
+        self._hac.add("rmdir")
+        canon = self._canonical_dir(path)
+        self.fs.rmdir(canon)
+        uid = self.dirmap.uid_of(canon)
+        if uid is not None:
+            self.dirmap.unregister(canon)
+            self.depgraph.remove_node(uid)
+            self.meta.drop(uid)
+            self.semmounts.drop_uid(uid)
+        self._invalidate_attrs(canon)
+        self._persist_maps()
+
+    def create(self, path: str, mode: int = 0o644) -> StatResult:
+        """Create a file; HAC also primes the attribute cache (§4)."""
+        self._hac.add("create")
+        norm = self._library_resolve(path)
+        stat = self.fs.create(path, mode=mode)
+        self.attrcache.put(norm, stat.attrs)
+        self._stat_identity[norm] = (stat.fsid, stat.ino, stat.type)
+        self.watches.on_content_changed(norm)
+        return stat
+
+    def write_file(self, path: str, data: bytes, append: bool = False) -> int:
+        self._hac.add("write_file")
+        norm = self._library_resolve(path)
+        n = self.fs.write_file(path, data, append=append)
+        # maintain (rather than drop) the attribute-cache entry: HAC owns
+        # the write path, so the fresh attributes are known here (§4)
+        stat = self.fs.lstat(path)
+        self.attrcache.put(norm, stat.attrs)
+        self._stat_identity[norm] = (stat.fsid, stat.ino, stat.type)
+        self.watches.on_content_changed(norm)
+        return n
+
+    def read_file(self, path: str) -> bytes:
+        """Read a file; remote links fetch through their name space."""
+        self._hac.add("read_file")
+        self._library_resolve(path)
+        res = self.fs.resolve(path, follow=False)
+        if isinstance(res.node, SymlinkNode) and "://" in res.node.target:
+            namespace, _, doc = res.node.target.partition("://")
+            ns = self.semmounts.require(namespace)
+            return ns.fetch(doc).encode("utf-8")
+        return self.fs.read_file(path)
+
+    def truncate(self, path: str, size: int = 0) -> None:
+        self.fs.truncate(path, size)
+        self._invalidate_attrs(pathutil.normalize(path))
+        self.watches.on_content_changed(pathutil.normalize(path))
+
+    def unlink(self, path: str) -> None:
+        """Remove a file or link; deleting a tracked link in a semantic
+        directory records a prohibition (§2.3)."""
+        self._hac.add("unlink")
+        res = self.fs.resolve(path, follow=False)
+        parent_dir = pathutil.dirname(pathutil.normalize(path))
+        name = pathutil.basename(pathutil.normalize(path))
+        if isinstance(res.node, SymlinkNode):
+            uid = self.dirmap.uid_of(self._canonical_dir(parent_dir))
+            state = self.meta.get(uid) if uid is not None else None
+            if state is not None and state.is_semantic \
+                    and state.links.target_of(name) is not None:
+                state.links.prohibit(name)
+                self.fs.unlink(path)
+                self.meta.flush(uid)
+                self._hac.add("prohibitions")
+                # the directory's own result changed too: refresh it (the
+                # prohibition keeps the link out) and cascade to dependents
+                self.consistency.on_scope_changed([uid], include_origins=True)
+                return
+            self.fs.unlink(path)
+            self._invalidate_attrs(pathutil.normalize(path))
+            self.consistency.on_scope_changed(self._chain_uids(parent_dir))
+            return
+        key = (res.fs.fsid, res.node.ino) if isinstance(res.node, FileNode) \
+            else None
+        self.fs.unlink(path)
+        self._invalidate_attrs(pathutil.normalize(path))
+        # the index entry lingers until reindex (data inconsistency, §2.4) —
+        # unless a watch covers the file, which withdraws it immediately
+        if key is not None:
+            self.watches.on_file_removed(key, parent_dir)
+        self.consistency.on_scope_changed(self._chain_uids(parent_dir))
+
+    def symlink(self, target: str, linkpath: str) -> StatResult:
+        """Create a link; inside a semantic directory it becomes permanent
+        (and lifts any prohibition on its target, §2.3)."""
+        self._hac.add("symlink")
+        stat = self.fs.symlink(target, linkpath)
+        parent_dir = pathutil.dirname(pathutil.normalize(linkpath))
+        name = pathutil.basename(pathutil.normalize(linkpath))
+        uid = self.dirmap.uid_of(self._canonical_dir(parent_dir))
+        state = self.meta.get(uid) if uid is not None else None
+        if state is not None and state.is_semantic:
+            resolved = self._target_of_link_text(target)
+            if resolved is not None:
+                state.links.add_permanent(name, resolved)
+                self.meta.flush(uid)
+                self._hac.add("permanent_links")
+            self.consistency.on_scope_changed([uid])
+        else:
+            self.consistency.on_scope_changed(self._chain_uids(parent_dir))
+        return stat
+
+    def _target_of_link_text(self, text: str) -> Optional[Target]:
+        if "://" in text:
+            namespace, _, doc = text.partition("://")
+            return Target.remote(namespace, doc)
+        try:
+            res = self.fs.resolve(text, follow=True)
+        except Exception:
+            return None
+        if isinstance(res.node, FileNode):
+            return Target.local(res.fs.fsid, res.node.ino)
+        return None
+
+    def rename(self, old: str, new: str) -> None:
+        """Move anything; directory moves update the global map so queries
+        referencing the moved directories stay valid (§2.5)."""
+        self._hac.add("rename")
+        res = self.fs.resolve(old, follow=False)
+        moving_dir = res.node.is_dir
+        old_canon = self._canonical_dir(old) if moving_dir else None
+        old_parent = pathutil.dirname(pathutil.normalize(old))
+        new_parent = pathutil.dirname(pathutil.normalize(new))
+        origins = self._chain_uids(old_parent)
+        self.fs.rename(old, new)
+        if moving_dir:
+            new_canon = self._canonical_dir(new)
+            self.dirmap.rename_subtree(old_canon, new_canon)
+            moved_uid = self.dirmap.uid_of(new_canon)
+            new_parent_uid = self.dirmap.uid_of(pathutil.dirname(new_canon))
+            if moved_uid is not None and new_parent_uid is not None:
+                self.depgraph.set_hierarchy_edge(moved_uid, new_parent_uid)
+            self._clear_attrs()
+            self._persist_maps()
+            if moved_uid is not None:
+                origins.append(moved_uid)
+        else:
+            self._invalidate_attrs(pathutil.normalize(old))
+            self._invalidate_attrs(pathutil.normalize(new))
+            if isinstance(res.node, FileNode):
+                key = (res.fs.fsid, res.node.ino)
+                live = self.path_for_target(Target.local(*key))
+                if live is not None and not self.watches.on_file_moved(key, live):
+                    if key in self.engine:
+                        self.engine.rename_document(key, live)
+        origins.extend(self._chain_uids(new_parent))
+        self.consistency.on_scope_changed(origins)
+
+    # -- pass-throughs with caching ------------------------------------------
+
+    def stat(self, path: str) -> StatResult:
+        """Stat with the shared attribute cache in front (§4, Scan phase)."""
+        self._hac.add("stat")
+        norm = pathutil.normalize(path)
+        cached = self.attrcache.get(norm)
+        identity = self._stat_identity.get(norm)
+        if cached is not None and identity is not None:
+            fsid, ino, node_type = identity
+            return StatResult(fsid, ino, node_type, cached)
+        stat = self.fs.stat(path)
+        self.attrcache.put(norm, stat.attrs)
+        self._stat_identity[norm] = (stat.fsid, stat.ino, stat.type)
+        return stat
+
+    def lstat(self, path: str) -> StatResult:
+        return self.fs.lstat(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return self.fs.listdir(path)
+
+    def readlink(self, path: str) -> str:
+        return self.fs.readlink(path)
+
+    def exists(self, path: str, follow: bool = True) -> bool:
+        return self.fs.exists(path, follow=follow)
+
+    def isdir(self, path: str) -> bool:
+        return self.fs.isdir(path)
+
+    def isfile(self, path: str) -> bool:
+        return self.fs.isfile(path)
+
+    def islink(self, path: str) -> bool:
+        return self.fs.islink(path)
+
+    def chmod(self, path: str, mode: int) -> None:
+        self.fs.chmod(path, mode)
+        self._invalidate_attrs(pathutil.normalize(path))
+
+    # -- descriptor I/O through the per-process table ---------------------------
+
+    def open(self, path: str, mode: str = "r") -> int:
+        self._hac.add("open")
+        self._library_resolve(path)
+        fd = self.fs.open(self.fdtable, path, mode)
+        if mode != "r":
+            self._invalidate_attrs(pathutil.normalize(path))
+        return fd
+
+    def read(self, fd: int, size: int = -1) -> bytes:
+        return self.fs.read(self.fdtable, fd, size)
+
+    def write(self, fd: int, data: bytes) -> int:
+        of = self.fdtable.get(fd)
+        n = self.fs.write(self.fdtable, fd, data)
+        live = of.fs.path_of_ino(of.node.ino)
+        if live is not None:
+            self._invalidate_attrs(live)
+            self.watches.on_content_changed(live)
+        return n
+
+    def lseek(self, fd: int, offset: int, whence: int = 0) -> int:
+        return self.fs.lseek(self.fdtable, fd, offset, whence)
+
+    def close(self, fd: int) -> None:
+        self.fs.close(self.fdtable, fd)
+
+    # ==================================================================
+    # semantic operations
+    # ==================================================================
+
+    def smkdir(self, path: str, query: str) -> str:
+        """Create a semantic directory: a real directory with a query."""
+        self._hac.add("smkdir")
+        self.mkdir(path)
+        canon = self._canonical_dir(path)
+        self.set_query(canon, query)
+        return canon
+
+    def set_query(self, path: str, query: Optional[str]) -> None:
+        """Attach, change, or (with None) detach a directory's query."""
+        self._hac.add("set_query")
+        uid, state = self._state_of(path)
+        canon = self.dirmap.path_of(uid)
+        if query is None:
+            # detach: drop transient links, keep permanent/prohibited
+            for name in list(state.links.transient):
+                entry = pathutil.join(canon, name)
+                if self.fs.islink(entry):
+                    self.fs.unlink(entry)
+                state.links.forget(name)
+            state.query = None
+            state.query_text = None
+            state.result_cache = state.result_cache.__class__()
+            self.depgraph.set_reference_edges(uid, [])
+            self.meta.flush(uid)
+            self._persist_maps()
+            self.consistency.on_scope_changed([uid])
+            return
+        ast = parse_query(query, resolve_dir=self.dirmap.uid_of)
+        # validate/settle reference edges first: a cycle must leave the old
+        # query fully intact
+        self.depgraph.set_reference_edges(uid, set(ast.dir_refs()))
+        state.query = ast
+        state.query_text = query
+        self.meta.flush(uid)
+        self._persist_maps()
+        self.consistency.on_scope_changed([uid], include_origins=True)
+
+    def get_query(self, path: str) -> Optional[str]:
+        """The directory's query, rendered with *current* directory paths —
+        references are stored as UIDs, so renames update what this shows."""
+        _uid, state = self._state_of(path)
+        if state.query is None:
+            return None
+        return state.query.to_text(self.dirmap.path_of)
+
+    def is_semantic(self, path: str) -> bool:
+        try:
+            _uid, state = self._state_of(path)
+        except (FileNotFound, KeyError):
+            return False
+        return state.is_semantic
+
+    def links(self, path: str) -> Dict[str, Tuple[str, str]]:
+        """Classified listing: name → (classification, target display)."""
+        _uid, state = self._state_of(path)
+        out: Dict[str, Tuple[str, str]] = {}
+        for name, target in state.links.permanent.items():
+            out[name] = ("permanent", str(target))
+        for name, target in state.links.transient.items():
+            out[name] = ("transient", str(target))
+        return out
+
+    def prohibited(self, path: str) -> List[str]:
+        _uid, state = self._state_of(path)
+        return sorted(str(t) for t in state.links.prohibited)
+
+    def classify(self, link_path: str) -> Optional[str]:
+        """'permanent' | 'transient' | None for one directory entry."""
+        parent = pathutil.dirname(pathutil.normalize(link_path))
+        name = pathutil.basename(pathutil.normalize(link_path))
+        _uid, state = self._state_of(parent)
+        if name in state.links.permanent:
+            return "permanent"
+        if name in state.links.transient:
+            return "transient"
+        return None
+
+    def make_permanent(self, link_path: str) -> None:
+        """Promote a transient link so re-evaluation can never drop it
+        (part of the paper's sophisticated-user API)."""
+        parent = pathutil.dirname(pathutil.normalize(link_path))
+        name = pathutil.basename(pathutil.normalize(link_path))
+        uid, state = self._state_of(parent)
+        target = state.links.transient.pop(name, None)
+        if target is None:
+            raise InvalidArgument(link_path, "not a transient link")
+        state.links.add_permanent(name, target)
+        self.meta.flush(uid)
+
+    def unprohibit(self, dir_path: str, target_text: str) -> bool:
+        """Lift a tombstone: *target_text* is a path or ``ns://doc`` URI."""
+        uid, state = self._state_of(dir_path)
+        target = self._target_of_link_text(target_text)
+        if target is None:
+            return False
+        lifted = state.links.unprohibit(target)
+        if lifted:
+            self.meta.flush(uid)
+            self.consistency.on_scope_changed([uid], include_origins=True)
+        return lifted
+
+    def sact(self, link_path: str) -> List[str]:
+        """Extract the query-matching lines of a link's file (§4's ``sact``)."""
+        self._hac.add("sact")
+        parent = pathutil.dirname(pathutil.normalize(link_path))
+        name = pathutil.basename(pathutil.normalize(link_path))
+        _uid, state = self._state_of(parent)
+        if not state.is_semantic:
+            raise NotASemanticDirectory(parent)
+        target = state.links.target_of(name)
+        if target is None:
+            raise FileNotFound(link_path, "not a tracked link")
+        if target.is_remote:
+            ns = self.semmounts.require(target.realm)
+            text = ns.fetch(target.ident)
+        else:
+            text = self._load_doc(target.key)
+        return agrep.matching_lines(text, content_projection(state.query))
+
+    # ==================================================================
+    # mounts
+    # ==================================================================
+
+    def mount(self, path: str, other: FileSystem) -> None:
+        """Syntactic mount: graft *other* at *path* and adopt its
+        directories into the HAC name space."""
+        self._hac.add("mount")
+        canon = self._canonical_dir(path)
+        self.fs.mount(canon, other)
+        self._fs_registry[other.fsid] = (other, canon)
+        # adopt every directory of the mounted tree into map/graph/state
+        for dirpath, _dirs, _files in walk(self.fs, canon):
+            if self.dirmap.uid_of(dirpath) is None:
+                uid = self.dirmap.register(dirpath)
+                self.depgraph.add_node(uid)
+                parent_uid = self.dirmap.uid_of(pathutil.dirname(dirpath))
+                if parent_uid is not None:
+                    self.depgraph.set_hierarchy_edge(uid, parent_uid)
+                self.meta.create(uid)
+        self._persist_maps()
+        self.consistency.on_scope_changed(self._chain_uids(canon))
+
+    def unmount(self, path: str) -> FileSystem:
+        self._hac.add("unmount")
+        canon = self._canonical_dir(path)
+        detached = self.fs.unmount(canon)
+        self._fs_registry.pop(detached.fsid, None)
+        for uid in self.dirmap.subtree_uids(canon, strict=True):
+            sub_path = self.dirmap.path_of(uid)
+            self.dirmap.unregister(sub_path)
+            self.depgraph.remove_node(uid)
+            self.meta.drop(uid)
+            self.semmounts.drop_uid(uid)
+        self._persist_maps()
+        self.consistency.on_scope_changed(self._chain_uids(canon))
+        return detached
+
+    def smount(self, path: str, namespace: NameSpace) -> None:
+        """Semantic mount: bind a remote query system at *path* (§3.1)."""
+        self._hac.add("smount")
+        canon = self._canonical_dir(path)
+        self.semmounts.mount(canon, namespace)
+        self.consistency.on_scope_changed(self._chain_uids(canon),
+                                          include_origins=True)
+
+    def sunmount(self, path: str, namespace_id: Optional[str] = None) -> None:
+        self._hac.add("sunmount")
+        canon = self._canonical_dir(path)
+        self.semmounts.unmount(canon, namespace_id)
+        self.consistency.on_scope_changed(self._chain_uids(canon),
+                                          include_origins=True)
+
+    # ==================================================================
+    # data consistency
+    # ==================================================================
+
+    def reindex(self, path: str = "/") -> ReindexPlan:
+        """Reindex the files under *path* (crossing syntactic mounts)."""
+        self._hac.add("reindex")
+        canon = self._canonical_dir(path)
+        current: List[Tuple[Tuple[str, int], str, float]] = []
+        for dirpath, _dirs, filenames in walk(self.fs, canon):
+            for name in filenames:
+                fpath = pathutil.join(dirpath, name)
+                res = self.fs.resolve(fpath, follow=False)
+                if isinstance(res.node, FileNode):
+                    current.append(((res.fs.fsid, res.node.ino), fpath,
+                                    res.node.attrs.mtime))
+        current_keys = {key for key, _p, _m in current}
+        previous = {}
+        for key, mtime in self.engine.mtime_snapshot().items():
+            doc = self.engine.doc_by_key(key)
+            in_subtree = doc is not None and pathutil.is_ancestor(
+                canon, doc.path, strict=False)
+            if in_subtree or key in current_keys:
+                previous[key] = mtime
+        plan = self.engine.reindex(current, previous=previous)
+        # persist the compact file table (the paper's "compact representation
+        # of the list of all file names") so the index maps back to names
+        # after a crash; this is part of HAC's on-disk footprint
+        self.meta.flush_aux("filetable", {
+            str(doc.doc_id): [doc.path, doc.mtime]
+            for doc in (self.engine.doc_by_id(d) for d in self.engine.all_docs())
+            if doc is not None
+        })
+        return plan
+
+    def ssync(self, path: str = "/") -> ReindexPlan:
+        """Reindex *path* and re-evaluate every dependent directory —
+        the paper's ``ssync`` command plus the §2.4 settle-everything pass."""
+        self._hac.add("ssync")
+        plan = self.reindex(path)
+        canon = self._canonical_dir(path)
+        if canon == "/":
+            self.consistency.reevaluate_all()
+        else:
+            self.consistency.on_scope_changed(self._chain_uids(canon),
+                                              include_origins=True)
+        return plan
+
+    def fsck(self, repair: bool = False):
+        """Audit the agreement of the VFS tree, global map, MetaStore,
+        dependency graph, and index; optionally repair the safe cases.
+        Returns a list of :class:`repro.core.fsck.Finding`."""
+        from repro.core.fsck import hacfsck
+
+        self._hac.add("fsck")
+        return hacfsck(self, repair=repair)
+
+    def watch(self, path: str) -> str:
+        """Keep the subtree at *path* index-fresh on every mutation
+        (eager data consistency — the §2.4 'as soon as new mail comes in'
+        policy).  Returns the watch root."""
+        self._hac.add("watch")
+        return self.watches.add(path)
+
+    def unwatch(self, path: str) -> bool:
+        self._hac.add("unwatch")
+        return self.watches.remove(path)
+
+    # ==================================================================
+    # reporting / durability
+    # ==================================================================
+
+    def save_index(self) -> int:
+        """Persist the content index to the device (Glimpse's index files).
+
+        :meth:`restore` will then rebuild the engine without re-reading the
+        corpus — recovery cost drops from Θ(corpus) to Θ(changes since the
+        save).  Returns the persisted record size in bytes.
+        """
+        self._hac.add("save_index")
+        from repro.util import serialization
+
+        record = serialization.dumps(self.engine.to_obj())
+        self.fs.device.write_record("cbaindex", record)
+        return len(record)
+
+    def metadata_bytes(self) -> int:
+        return self.meta.metadata_bytes()
+
+    def shared_memory_bytes(self) -> int:
+        """Attribute cache + fd table footprint (the paper's ~16 KB/process)."""
+        return self.attrcache.approximate_bytes() + self.fdtable.approximate_bytes()
+
+    def semantic_dirs(self) -> List[str]:
+        out = []
+        for uid in self.meta.uids():
+            state = self.meta.get(uid)
+            if state is not None and state.is_semantic:
+                path = self.dirmap.path_of(uid)
+                if path is not None:
+                    out.append(path)
+        return sorted(out)
+
+    @classmethod
+    def restore(cls, fs: FileSystem,
+                clock: Optional[VirtualClock] = None,
+                counters: Optional[Counters] = None,
+                reuse_index: bool = True) -> "HacFileSystem":
+        """Rebuild a HAC file system from the records persisted on *fs*'s
+        device (crash recovery / reopen).  Link classifications and queries
+        come back verbatim; the content index is restored from the persisted
+        copy when one exists (see :meth:`save_index`) and brought current by
+        an incremental sync, or rebuilt from scratch otherwise."""
+        hacfs = cls.__new__(cls)
+        hacfs.counters = counters if counters is not None else Counters()
+        hacfs.clock = clock if clock is not None else VirtualClock()
+        hacfs.fs = fs
+        hacfs._hac = hacfs.counters.scoped("hac")
+        hacfs.meta = MetaStore(fs.device)
+        raw_map = hacfs.meta.load_aux("globalmap") or {"0": "/"}
+        hacfs.dirmap = GlobalDirectoryMap.restore(
+            {int(u): p for u, p in raw_map.items()})
+        raw_graph = hacfs.meta.load_aux("depgraph")
+        hacfs.depgraph = (DependencyGraph.from_obj(raw_graph)
+                          if raw_graph else DependencyGraph())
+        hacfs.engine = None  # chosen below: restored or fresh
+        hacfs.semmounts = SemanticMountTable(uid_of=hacfs.dirmap.uid_of,
+                                             path_of=hacfs.dirmap.path_of)
+        hacfs.scopes = ScopeResolver(hacfs)
+        hacfs.consistency = ConsistencyManager(hacfs)
+        hacfs.scheduler = ReindexScheduler(hacfs)
+        hacfs.watches = WatchManager(hacfs)
+        hacfs.attrcache = AttributeCache(counters=hacfs.counters)
+        hacfs._stat_identity = {}
+        hacfs.fdtable = FDTable()
+        hacfs._loader_fds = FDTable()
+        hacfs._fs_registry = {fs.fsid: (fs, "")}
+        saved = hacfs.meta.load_aux("cbaindex") if reuse_index else None
+        if saved is not None:
+            hacfs.engine = CBAEngine.from_obj(
+                saved, loader=hacfs._load_doc,
+                transducer=default_transducer, counters=hacfs.counters)
+        else:
+            hacfs.engine = CBAEngine(loader=hacfs._load_doc,
+                                     transducer=default_transducer,
+                                     counters=hacfs.counters)
+        hacfs.meta.reload_all()
+        # a saved index makes this incremental (Θ(changes), not Θ(corpus))
+        hacfs.ssync("/")
+        return hacfs
+

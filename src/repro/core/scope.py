@@ -1,0 +1,151 @@
+"""Scope computation — what each directory *provides* (paper §2.3).
+
+The scope of a query is the set of files it is evaluated over, and it is
+defined by the parent of the query's semantic directory:
+
+* the **root** provides all the files in the file system (every indexed
+  document), plus every semantically mounted name space;
+* a **semantic directory** provides its curated query-result: the targets
+  of its transient and permanent links, plus any regular files placed
+  directly inside it, plus name spaces semantically mounted directly on it.
+  Contents of its *sub*-directories do not feed upward — the paper
+  explicitly rejects child→parent flow;
+* a **plain (syntactic) directory** has no curated result, so it provides
+  its subtree: every regular file below it, the targets of symbolic links
+  in plain directories below it, and name spaces mounted anywhere below.
+  Links materialised inside semantic descendants are excluded — they are
+  those directories' *results*, and letting them feed a syntactic ancestor
+  would create scope dependencies the dependency graph does not track.
+
+A scope has three parts: local documents (engine doc-ids), explicit remote
+members (links imported earlier), and name spaces to forward new queries to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, TYPE_CHECKING
+
+from repro.util import pathutil
+from repro.util.bitmap import Bitmap
+from repro.cba.results import RemoteId
+from repro.vfs.inode import FileNode, SymlinkNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hacfs import HacFileSystem
+
+
+class Scope:
+    """The scope a directory provides to queries beneath it."""
+
+    __slots__ = ("local", "remote", "namespaces")
+
+    def __init__(self, local: Optional[Bitmap] = None,
+                 remote: Optional[Set[RemoteId]] = None,
+                 namespaces: Optional[Set[str]] = None):
+        self.local = local if local is not None else Bitmap()
+        self.remote = remote if remote is not None else set()
+        self.namespaces = namespaces if namespaces is not None else set()
+
+    def __repr__(self):
+        return (f"Scope(local={len(self.local)}, remote={len(self.remote)}, "
+                f"namespaces={sorted(self.namespaces)})")
+
+
+class ScopeResolver:
+    """Computes provided scopes against the live file system state."""
+
+    def __init__(self, hacfs: "HacFileSystem"):
+        self.hacfs = hacfs
+
+    # ------------------------------------------------------------------
+
+    def provided_by_uid(self, uid: int) -> Scope:
+        path = self.hacfs.dirmap.path_of(uid)
+        if path is None:
+            return Scope()  # dangling reference resolves to nothing
+        return self.provided(path)
+
+    def provided(self, path: str) -> Scope:
+        norm = pathutil.normalize(path)
+        if norm == "/":
+            return self._root_scope()
+        uid = self.hacfs.dirmap.uid_of(norm)
+        state = self.hacfs.meta.get(uid) if uid is not None else None
+        if state is not None and state.is_semantic:
+            return self._semantic_scope(norm, state)
+        return self._syntactic_scope(norm)
+
+    # ------------------------------------------------------------------
+
+    def _root_scope(self) -> Scope:
+        return Scope(
+            local=self.hacfs.engine.all_docs(),
+            remote=set(),
+            namespaces=set(self.hacfs.semmounts.all_namespace_ids()),
+        )
+
+    def _semantic_scope(self, path: str, state) -> Scope:
+        local = Bitmap()
+        remote: Set[RemoteId] = set()
+        for target in state.links.all_targets():
+            if target.is_local:
+                doc_id = self.hacfs.engine.doc_id_of(target.key)
+                if doc_id is not None:
+                    local.add(doc_id)
+            else:
+                remote.add(target.remote_id())
+        # regular files placed directly in the directory are part of the
+        # curated result ("adding regular files to that directory", §2.3)
+        fs = self.hacfs.fs
+        for name in fs.listdir(path):
+            child_path = pathutil.join(path, name)
+            res = fs.resolve(child_path, follow=False)
+            if isinstance(res.node, FileNode):
+                doc_id = self.hacfs.engine.doc_id_of((res.fs.fsid, res.node.ino))
+                if doc_id is not None:
+                    local.add(doc_id)
+        namespaces = set(self.hacfs.semmounts.namespaces_at(path))
+        return Scope(local=local, remote=remote, namespaces=namespaces)
+
+    def _syntactic_scope(self, path: str) -> Scope:
+        from repro.vfs.walker import walk  # local import avoids cycles
+
+        local = Bitmap()
+        remote: Set[RemoteId] = set()
+        fs = self.hacfs.fs
+        for dirpath, dirnames, filenames in walk(fs, path):
+            dir_uid = self.hacfs.dirmap.uid_of(dirpath)
+            dir_state = self.hacfs.meta.get(dir_uid) if dir_uid is not None else None
+            dir_is_semantic = dir_state is not None and dir_state.is_semantic
+            for name in filenames:
+                child = fs.resolve(pathutil.join(dirpath, name), follow=False)
+                node = child.node
+                if isinstance(node, FileNode):
+                    doc_id = self.hacfs.engine.doc_id_of((child.fs.fsid, node.ino))
+                    if doc_id is not None:
+                        local.add(doc_id)
+                elif isinstance(node, SymlinkNode) and not dir_is_semantic:
+                    self._add_symlink_target(node, local, remote)
+            # semantic descendants contribute their physical files (walked
+            # above) but not their curated links: prune nothing, links are
+            # filtered by dir_is_semantic when visited
+        namespaces = set(self.hacfs.semmounts.namespaces_under(path))
+        return Scope(local=local, remote=remote, namespaces=namespaces)
+
+    def _add_symlink_target(self, node: SymlinkNode,
+                            local: Bitmap, remote: Set[RemoteId]) -> None:
+        target = node.target
+        if "://" in target:
+            try:
+                remote.add(RemoteId.from_uri(target))
+            except ValueError:
+                pass
+            return
+        try:
+            res = self.hacfs.fs.resolve(target, follow=True)
+        except Exception:
+            return  # dangling link: contributes nothing (data inconsistency)
+        if isinstance(res.node, FileNode):
+            doc_id = self.hacfs.engine.doc_id_of((res.fs.fsid, res.node.ino))
+            if doc_id is not None:
+                local.add(doc_id)

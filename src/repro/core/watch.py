@@ -1,0 +1,129 @@
+"""Eager data consistency: watched subtrees (extension of §2.4).
+
+The paper's data-consistency policy is deliberately lazy, but it names the
+exception: "users can decide to update certain semantic directories as soon
+as new mail comes in".  And its future-work list includes "more
+sophisticated mechanisms to enforce data consistency".  This module is that
+mechanism: a *watch* covers a subtree; any content mutation under a watched
+subtree (write, create, delete, move) immediately reindexes the touched
+file and runs the scope-consistency cascade, so query results update
+synchronously instead of at the next ``ssync``.
+
+The cost model is the interesting part — watches trade write latency for
+freshness, quantified by ``benchmarks/bench_ablation_watch.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, TYPE_CHECKING
+
+from repro.util import pathutil
+from repro.vfs.inode import FileNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hacfs import HacFileSystem
+
+
+class WatchManager:
+    """Registered subtrees whose files stay index-fresh on every mutation."""
+
+    def __init__(self, hacfs: "HacFileSystem"):
+        self.hacfs = hacfs
+        self._roots: Set[str] = set()
+        self._stats = hacfs.counters.scoped("watch")
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def add(self, path: str) -> str:
+        """Watch the subtree at *path*; returns the normalised root.
+
+        Adding a watch first syncs the subtree, so the eager guarantee
+        ("results reflect every write") holds from this moment on.
+        """
+        root = self.hacfs._canonical_dir(path)
+        self._roots.add(root)
+        self.hacfs.ssync(root)
+        self._stats.add("added")
+        return root
+
+    def remove(self, path: str) -> bool:
+        root = pathutil.normalize(path)
+        if root in self._roots:
+            self._roots.discard(root)
+            self._stats.add("removed")
+            return True
+        return False
+
+    def roots(self) -> List[str]:
+        return sorted(self._roots)
+
+    def covers(self, path: str) -> bool:
+        if not self._roots:
+            return False
+        norm = pathutil.normalize(path)
+        return any(pathutil.is_ancestor(root, norm, strict=False)
+                   for root in self._roots)
+
+    # ------------------------------------------------------------------
+    # event handling (called by HacFileSystem after mutations)
+    # ------------------------------------------------------------------
+
+    def on_content_changed(self, path: str) -> bool:
+        """A file under *path* was written or created; reindex it now."""
+        if not self.covers(path):
+            return False
+        try:
+            res = self.hacfs.fs.resolve(path, follow=False)
+        except Exception:
+            return False
+        node = res.node
+        if not isinstance(node, FileNode):
+            return False
+        key = (res.fs.fsid, node.ino)
+        if key in self.hacfs.engine:
+            self.hacfs.engine.update_document(key, path, node.attrs.mtime)
+        else:
+            self.hacfs.engine.index_document(key, path, node.attrs.mtime)
+        self._stats.add("reindexed")
+        self._cascade(path)
+        return True
+
+    def on_file_removed(self, key, parent_dir: str) -> bool:
+        """A file under a watched subtree was unlinked; withdraw it now."""
+        if not self.covers(parent_dir):
+            return False
+        if key in self.hacfs.engine:
+            self.hacfs.engine.remove_document(key)
+            self._stats.add("removed_docs")
+        self._cascade(parent_dir)
+        return True
+
+    def on_file_moved(self, key, new_path: str) -> bool:
+        """A file moved; refresh its indexed path (and name-derived terms)."""
+        if not (self.covers(new_path) or key in self.hacfs.engine):
+            return False
+        if not self.covers(new_path):
+            return False
+        if key in self.hacfs.engine:
+            doc = self.hacfs.engine.doc_by_key(key)
+            self.hacfs.engine.update_document(key, new_path, doc.mtime)
+        else:
+            try:
+                res = self.hacfs.fs.resolve(new_path, follow=False)
+                self.hacfs.engine.index_document(
+                    key, new_path, res.node.attrs.mtime)
+            except Exception:
+                return False
+        self._stats.add("moved_docs")
+        self._cascade(new_path)
+        return True
+
+    def _cascade(self, path: str) -> None:
+        parent = pathutil.dirname(pathutil.normalize(path))
+        try:
+            origins = self.hacfs._chain_uids(parent)
+        except Exception:
+            origins = [0]
+        self.hacfs.consistency.on_scope_changed(origins, include_origins=True)

@@ -1,0 +1,203 @@
+"""Exception hierarchy for the HAC reproduction.
+
+Two families of errors exist:
+
+* :class:`VfsError` and its subclasses mirror POSIX ``errno`` conditions
+  raised by the hierarchical file-system substrate (:mod:`repro.vfs`).
+* :class:`HacError` and its subclasses cover the semantic layer — query
+  parsing, scope consistency, dependency cycles, mounts, and remote access.
+
+Every error carries the offending path (or query) where that is meaningful,
+so shell-level callers can render ``<path>: <message>`` diagnostics the way
+UNIX tools do.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# VFS (POSIX-like) errors
+# ---------------------------------------------------------------------------
+
+
+class VfsError(ReproError):
+    """Base class for file-system errors.
+
+    :param path: the path involved, if any.
+    :param message: optional human-readable detail.
+    """
+
+    #: short errno-style mnemonic, overridden by subclasses.
+    code = "EVFS"
+
+    def __init__(self, path: str = "", message: str = ""):
+        self.path = path
+        self.message = message
+        detail = f"{self.code}: {path}" if path else self.code
+        if message:
+            detail = f"{detail} ({message})"
+        super().__init__(detail)
+
+
+class FileNotFound(VfsError):
+    """A path component does not exist (ENOENT)."""
+
+    code = "ENOENT"
+
+
+class FileExists(VfsError):
+    """Target already exists (EEXIST)."""
+
+    code = "EEXIST"
+
+
+class NotADirectory(VfsError):
+    """A non-final path component is not a directory (ENOTDIR)."""
+
+    code = "ENOTDIR"
+
+
+class IsADirectory(VfsError):
+    """File operation applied to a directory (EISDIR)."""
+
+    code = "EISDIR"
+
+
+class DirectoryNotEmpty(VfsError):
+    """rmdir / rename over a non-empty directory (ENOTEMPTY)."""
+
+    code = "ENOTEMPTY"
+
+
+class SymlinkLoop(VfsError):
+    """Too many levels of symbolic links (ELOOP)."""
+
+    code = "ELOOP"
+
+
+class InvalidArgument(VfsError):
+    """Bad argument to a file-system call (EINVAL)."""
+
+    code = "EINVAL"
+
+
+class BadFileDescriptor(VfsError):
+    """Operation on a closed or wrong-mode descriptor (EBADF)."""
+
+    code = "EBADF"
+
+
+class CrossDevice(VfsError):
+    """Rename across mount points (EXDEV)."""
+
+    code = "EXDEV"
+
+
+class DeviceBusy(VfsError):
+    """Unmounting a busy mount point (EBUSY)."""
+
+    code = "EBUSY"
+
+
+class PermissionError_(VfsError):
+    """Operation not permitted (EPERM)."""
+
+    code = "EPERM"
+
+
+class NoSpace(VfsError):
+    """Simulated block device is full (ENOSPC)."""
+
+    code = "ENOSPC"
+
+
+# ---------------------------------------------------------------------------
+# HAC semantic-layer errors
+# ---------------------------------------------------------------------------
+
+
+class HacError(ReproError):
+    """Base class for semantic-layer errors."""
+
+
+class QuerySyntaxError(HacError):
+    """The query text could not be parsed.
+
+    :param query: the offending query string.
+    :param position: character offset where parsing failed.
+    :param message: what was expected.
+    """
+
+    def __init__(self, query: str, position: int, message: str):
+        self.query = query
+        self.position = position
+        self.message = message
+        super().__init__(f"query syntax error at {position}: {message} in {query!r}")
+
+
+class NotASemanticDirectory(HacError):
+    """A semantic-directory operation was applied to an ordinary directory."""
+
+    def __init__(self, path: str):
+        self.path = path
+        super().__init__(f"not a semantic directory: {path}")
+
+
+class DependencyCycle(HacError):
+    """Adding a query reference would create a cycle in the dependency DAG."""
+
+    def __init__(self, path: str, cycle: list):
+        self.path = path
+        self.cycle = list(cycle)
+        pretty = " -> ".join(str(p) for p in self.cycle)
+        super().__init__(f"dependency cycle via {path}: {pretty}")
+
+
+class UnknownDirectoryReference(HacError):
+    """A query references a directory path that does not exist."""
+
+    def __init__(self, path: str):
+        self.path = path
+        super().__init__(f"query references unknown directory: {path}")
+
+
+class MountError(HacError):
+    """Invalid syntactic/semantic mount operation."""
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        super().__init__(f"mount error at {path}: {message}")
+
+
+class QueryLanguageMismatch(MountError):
+    """Name spaces on a multiple semantic mount must share a query language."""
+
+    def __init__(self, path: str, expected: str, got: str):
+        super().__init__(
+            path,
+            f"all name spaces on a semantic mount point must share one query "
+            f"language (mounted: {expected!r}, new: {got!r})",
+        )
+
+
+class RemoteUnavailable(HacError):
+    """A simulated remote name space failed or timed out."""
+
+    def __init__(self, namespace: str, message: str = ""):
+        self.namespace = namespace
+        detail = f"remote name space unavailable: {namespace}"
+        if message:
+            detail = f"{detail} ({message})"
+        super().__init__(detail)
+
+
+class StaleHandle(HacError):
+    """A link target no longer resolves to a live file (data inconsistency)."""
+
+    def __init__(self, target: str):
+        self.target = target
+        super().__init__(f"stale link target: {target}")

@@ -1,0 +1,35 @@
+"""Remote file and query systems (paper §3).
+
+HAC connects to other name spaces two ways: *syntactic* mount points graft
+a whole file system into the tree (handled by the VFS), while *semantic*
+mount points connect queries in the local HAC file system to results from a
+remote query mechanism — a digital library, a web search engine, another
+user's HAC file system.
+
+* :mod:`repro.remote.namespace` — the NameSpace protocol every mountable
+  query system implements, plus result records;
+* :mod:`repro.remote.rpc` — a simulated RPC transport: latency charged to
+  the virtual clock, call counting, deterministic failure injection;
+* :mod:`repro.remote.searchsvc` — a simulated remote search service (the
+  paper's "digital library with scientific articles");
+* :mod:`repro.remote.remotefs` — another HAC file system exported as a
+  name space, so users can search a coworker's personal classification;
+* :mod:`repro.remote.semmount` — the semantic mount table, including
+  *multiple* semantic mounts whose scopes union (all back-ends must speak
+  the same query language);
+* :mod:`repro.remote.registry` — the central database of shared semantic
+  directories the paper sketches in §3.2 (publish, search, import).
+"""
+
+from repro.remote.namespace import NameSpace, RemoteDoc
+from repro.remote.rpc import RpcTransport
+from repro.remote.searchsvc import SimulatedSearchService
+from repro.remote.semmount import SemanticMountTable
+
+__all__ = [
+    "NameSpace",
+    "RemoteDoc",
+    "RpcTransport",
+    "SimulatedSearchService",
+    "SemanticMountTable",
+]

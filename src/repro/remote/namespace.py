@@ -1,0 +1,58 @@
+"""The NameSpace protocol — what a semantic mount point talks to.
+
+A *name space* is anything queries can be evaluated against: a traditional
+file system, a CBA mechanism, a whole HAC file system (paper §3).  For
+semantic mounting, HAC needs exactly three things from it: an identity, a
+query-language tag (all name spaces on one multiple mount must share it),
+and a ``search`` entry point.  ``fetch`` makes results readable through the
+local file system, which is what turns a pile of search hits into files the
+user can ``cat``, annotate, and re-organise.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.cba.results import RemoteId
+
+
+class RemoteDoc(NamedTuple):
+    """One remote search result."""
+
+    doc: str        # stable id within the name space
+    title: str      # human-readable label (used to name the local link)
+
+    def remote_id(self, namespace: str) -> RemoteId:
+        return RemoteId(namespace, self.doc)
+
+
+class NameSpace:
+    """Base class / protocol for mountable query systems.
+
+    Subclasses must set :attr:`namespace_id` and :attr:`query_language`
+    and implement :meth:`search` and :meth:`fetch`.
+    """
+
+    #: globally unique id; appears in remote link URIs (``id://doc``).
+    namespace_id: str = ""
+    #: query-language tag; multiple mounts require all back-ends to match.
+    query_language: str = ""
+
+    def search(self, query_text: str) -> List[RemoteDoc]:
+        """Evaluate *query_text* with the name space's own mechanism."""
+        raise NotImplementedError
+
+    def fetch(self, doc: str) -> str:
+        """Retrieve the content of one result (for reading through HAC)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for mount listings."""
+        return f"{self.namespace_id} ({self.query_language})"
+
+    def title_of(self, doc: str) -> Optional[str]:
+        """Display title for a known doc id, if the back-end can say."""
+        return None
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.namespace_id!r})"

@@ -1,0 +1,145 @@
+"""The central database of shared semantic directories (paper §3.2).
+
+"It is also possible to collect the names, queries and query-results of
+many semantic directories of many users in a central database that itself
+can be indexed and searched.  Users can browse and search this database and
+find others who have similar tastes."
+
+:class:`SharedDirectoryRegistry` is that database: users *publish* a
+semantic directory (its name, query, and current result listing become one
+searchable record), other users *search* the registry (it is itself a
+NameSpace, so it can be semantically mounted!), and *import* a published
+classification into their own HAC file system — the imported links arrive
+as permanent links, since they represent another user's curation rather
+than a live query of one's own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, TYPE_CHECKING
+
+from repro.cba.engine import CBAEngine
+from repro.cba.queryparser import parse_query
+from repro.remote.namespace import NameSpace, RemoteDoc
+from repro.remote.rpc import RpcTransport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hacfs import HacFileSystem
+
+
+class PublishedDirectory(NamedTuple):
+    """One shared classification."""
+
+    record_id: str      # "<user>:<path>"
+    user: str
+    path: str
+    query_text: Optional[str]
+    entries: List[str]  # link-target display strings / uris
+
+
+class SharedDirectoryRegistry(NameSpace):
+    """Publish / search / import semantic directories across users."""
+
+    query_language = "glimpse"
+
+    def __init__(self, namespace_id: str = "registry",
+                 transport: Optional[RpcTransport] = None):
+        self.namespace_id = namespace_id
+        self.transport = transport if transport is not None \
+            else RpcTransport(namespace_id)
+        self._records: Dict[str, PublishedDirectory] = {}
+        self._engine = CBAEngine(loader=self._record_text)
+
+    # ------------------------------------------------------------------
+
+    def _record_text(self, record_id: str) -> str:
+        rec = self._records.get(record_id)
+        if rec is None:
+            return ""
+        parts = [rec.user, rec.path, rec.query_text or ""]
+        parts.extend(rec.entries)
+        return "\n".join(parts)
+
+    def publish(self, user: str, hacfs: "HacFileSystem", path: str) -> str:
+        """Share one directory's name, query, and current result listing."""
+        query_text = hacfs.get_query(path)
+        entries = sorted(display for _name, (_cls, display)
+                         in hacfs.links(path).items())
+        record_id = f"{user}:{path}"
+        record = PublishedDirectory(record_id, user, path, query_text, entries)
+        if record_id in self._records:
+            self._records[record_id] = record
+            self._engine.update_document(record_id, path=record_id, mtime=0.0)
+        else:
+            self._records[record_id] = record
+            self._engine.index_document(record_id, path=record_id, mtime=0.0)
+        return record_id
+
+    def withdraw(self, record_id: str) -> None:
+        if record_id in self._records:
+            del self._records[record_id]
+            self._engine.remove_document(record_id)
+
+    def get(self, record_id: str) -> Optional[PublishedDirectory]:
+        return self._records.get(record_id)
+
+    def records(self) -> List[PublishedDirectory]:
+        return sorted(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- NameSpace protocol: the registry is itself searchable/mountable -------
+
+    def search(self, query_text: str) -> List[RemoteDoc]:
+        def run() -> List[RemoteDoc]:
+            ast = parse_query(query_text)
+            hits = self._engine.search(ast)
+            out = []
+            for doc_id in hits:
+                doc = self._engine.doc_by_id(doc_id)
+                if doc is not None:
+                    out.append(RemoteDoc(doc=str(doc.key), title=str(doc.key)))
+            return sorted(out)
+        return self.transport.call("search", run)
+
+    def fetch(self, doc: str) -> str:
+        def run() -> str:
+            return self._record_text(doc)
+        return self.transport.call("fetch", run)
+
+    # ------------------------------------------------------------------
+
+    def import_into(self, hacfs: "HacFileSystem", record_id: str,
+                    dest_path: str) -> List[str]:
+        """Clone a published classification as a local directory of
+        permanent links; returns the created link paths.
+
+        Entries that name local paths become ordinary symlinks; ``ns://doc``
+        entries become remote links (usable when the same name space is
+        mounted on the importer's side).  The published query is *not*
+        attached — imported curation is someone else's judgement, kept as-is
+        until the importer decides to re-query.
+        """
+        rec = self._records.get(record_id)
+        if rec is None:
+            raise KeyError(f"no such record: {record_id}")
+        hacfs.makedirs(dest_path)
+        created: List[str] = []
+        for idx, entry in enumerate(rec.entries):
+            text = entry
+            if entry.startswith("hac") and ":ino" in entry:
+                # exporter-side inode ids are meaningless here; skip them
+                continue
+            name = _link_name(text, idx)
+            link_path = f"{dest_path.rstrip('/')}/{name}"
+            if not hacfs.exists(link_path, follow=False):
+                hacfs.symlink(text, link_path)
+                created.append(link_path)
+        return created
+
+
+def _link_name(entry: str, idx: int) -> str:
+    base = entry.rsplit("/", 1)[-1] or f"entry{idx}"
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in base)
+    return safe or f"entry{idx}"

@@ -1,0 +1,130 @@
+"""Semantic mount points (paper §3.1–3.2).
+
+A semantic mount point binds a *directory* in the local HAC file system to
+one or more remote name spaces.  When the scope of a query includes the
+mount point, the query is forwarded to every mounted name space and the
+results are imported as remote links.  Multiple name spaces may share one
+mount point — their scopes union, results stay disjoint (the namespace id
+is part of every remote link), and the paper's one restriction is enforced:
+**all name spaces on one mount point must be accessible via the same query
+language**.
+
+The table is keyed by directory UID, not path, so renames of the mount
+directory never detach the mount.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import MountError, QueryLanguageMismatch
+from repro.util import pathutil
+from repro.remote.namespace import NameSpace
+
+
+class SemanticMountTable:
+    """uid → mounted name spaces, with path-based lookups through a resolver.
+
+    :param uid_of: maps a directory path to its UID (the global map).
+    :param path_of: maps a UID back to its current path.
+    """
+
+    def __init__(self, uid_of: Callable[[str], Optional[int]],
+                 path_of: Callable[[int], Optional[str]]):
+        self._uid_of = uid_of
+        self._path_of = path_of
+        self._mounts: Dict[int, List[NameSpace]] = {}
+        self._by_id: Dict[str, NameSpace] = {}
+
+    # ------------------------------------------------------------------
+
+    def mount(self, path: str, namespace: NameSpace) -> None:
+        """Attach *namespace* at *path* (stacking onto any already there)."""
+        uid = self._uid_of(path)
+        if uid is None:
+            raise MountError(path, "not a directory in the HAC name space")
+        if not namespace.namespace_id:
+            raise MountError(path, "name space has no id")
+        existing = self._mounts.get(uid, [])
+        for ns in existing:
+            if ns.namespace_id == namespace.namespace_id:
+                raise MountError(path,
+                                 f"name space already mounted: {ns.namespace_id}")
+        if existing and existing[0].query_language != namespace.query_language:
+            raise QueryLanguageMismatch(path, existing[0].query_language,
+                                        namespace.query_language)
+        self._mounts.setdefault(uid, []).append(namespace)
+        self._by_id[namespace.namespace_id] = namespace
+
+    def unmount(self, path: str, namespace_id: Optional[str] = None) -> List[NameSpace]:
+        """Detach one name space (or all of them) from *path*."""
+        uid = self._uid_of(path)
+        if uid is None or uid not in self._mounts:
+            raise MountError(path, "not a semantic mount point")
+        mounted = self._mounts[uid]
+        if namespace_id is None:
+            removed = list(mounted)
+            del self._mounts[uid]
+        else:
+            removed = [ns for ns in mounted if ns.namespace_id == namespace_id]
+            if not removed:
+                raise MountError(path, f"name space not mounted: {namespace_id}")
+            mounted[:] = [ns for ns in mounted if ns.namespace_id != namespace_id]
+            if not mounted:
+                del self._mounts[uid]
+        for ns in removed:
+            if not any(ns in nss for nss in self._mounts.values()):
+                self._by_id.pop(ns.namespace_id, None)
+        return removed
+
+    def drop_uid(self, uid: int) -> None:
+        """Forget mounts on a directory being removed."""
+        for ns in self._mounts.pop(uid, []):
+            if not any(ns in nss for nss in self._mounts.values()):
+                self._by_id.pop(ns.namespace_id, None)
+
+    # ------------------------------------------------------------------
+
+    def namespaces_at(self, path: str) -> List[str]:
+        """Ids mounted directly on *path*."""
+        uid = self._uid_of(path)
+        if uid is None:
+            return []
+        return [ns.namespace_id for ns in self._mounts.get(uid, [])]
+
+    def namespaces_under(self, path: str) -> List[str]:
+        """Ids mounted at or anywhere below *path*."""
+        norm = pathutil.normalize(path)
+        out: List[str] = []
+        for uid, namespaces in self._mounts.items():
+            mount_path = self._path_of(uid)
+            if mount_path is not None and pathutil.is_ancestor(norm, mount_path,
+                                                               strict=False):
+                out.extend(ns.namespace_id for ns in namespaces)
+        return out
+
+    def all_namespace_ids(self) -> List[str]:
+        return sorted(self._by_id)
+
+    def get(self, namespace_id: str) -> Optional[NameSpace]:
+        return self._by_id.get(namespace_id)
+
+    def require(self, namespace_id: str) -> NameSpace:
+        ns = self._by_id.get(namespace_id)
+        if ns is None:
+            raise MountError(namespace_id, "unknown name space")
+        return ns
+
+    def mount_points(self) -> Iterator[Tuple[str, List[str]]]:
+        """(path, [namespace ids]) for every live mount point."""
+        for uid, namespaces in sorted(self._mounts.items()):
+            path = self._path_of(uid)
+            if path is not None:
+                yield path, [ns.namespace_id for ns in namespaces]
+
+    def is_mount_point(self, path: str) -> bool:
+        uid = self._uid_of(path)
+        return uid is not None and uid in self._mounts
+
+    def __len__(self) -> int:
+        return len(self._mounts)

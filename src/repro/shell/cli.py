@@ -1,0 +1,170 @@
+"""Interactive REPL for exploring a HAC file system (the ``hac`` script).
+
+Starts with a small demo name space (notes, mail, and a mountable demo
+"digital library") and accepts the shell's command set::
+
+    hac> smkdir fingerprint fingerprint
+    hac> ls -l fingerprint
+    hac> sact fingerprint/msg0000.txt
+    hac> help
+
+This is a convenience for humans; programmatic users should drive
+:class:`~repro.shell.session.HacShell` directly.
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import List, Optional
+
+from repro.shell.session import HacShell
+from repro.remote.searchsvc import SimulatedSearchService
+from repro.workloads.mailgen import MailGenerator
+
+HELP = """\
+commands:
+  ls [-l] [path]        list a directory (with -l, show link classifications)
+  cd PATH | pwd         navigate
+  mkdir/rmdir PATH      directories
+  cat PATH              show a file (remote links fetch over 'the network')
+  write PATH TEXT...    write a file
+  mv SRC DST | rm PATH  move / remove (removing a query link prohibits it)
+  ln TARGET LINK        symbolic link (permanent inside semantic dirs)
+  smkdir PATH QUERY...  create a semantic directory
+  squery [PATH]         show a directory's query
+  schquery PATH QUERY.. change a directory's query
+  sls [PATH]            classified link listing
+  sact LINK             show the matching lines behind a link
+  ssync [PATH]          reindex + re-evaluate dependents
+  smount PATH demo      mount the demo digital library semantically
+  glimpse QUERY...      ad-hoc search
+  swatch/sunwatch PATH  eager data consistency for a subtree
+  fsck [--repair]       audit HAC's internal structures
+  help | quit
+"""
+
+
+def build_demo_shell() -> HacShell:
+    """A small populated name space so the REPL is interesting."""
+    shell = HacShell()
+    hacfs = shell.hacfs
+    hacfs.makedirs("/notes")
+    hacfs.write_file("/notes/fp-design.txt",
+                     b"fingerprint matcher design notes: minutiae, ridges\n")
+    hacfs.write_file("/notes/todo.txt", b"buy milk, call bob about the budget\n")
+    MailGenerator().populate(hacfs, "/mail", count=10)
+    hacfs.mkdir("/library")
+    hacfs.ssync("/")
+    return shell
+
+
+_DEMO_LIBRARY_DOCS = {
+    "fp-survey": "a survey of fingerprint recognition techniques",
+    "nn-paper": "neural networks and their discontents",
+    "glimpse-paper": "glimpse a tool to search through entire file systems",
+}
+
+
+def execute(shell: HacShell, line: str) -> Optional[str]:
+    """Run one command line; returns output text (None to quit)."""
+    try:
+        argv = shlex.split(line)
+    except ValueError as exc:
+        return f"parse error: {exc}"
+    if not argv:
+        return ""
+    cmd, args = argv[0], argv[1:]
+    try:
+        return _dispatch(shell, cmd, args)
+    except SystemExit:
+        return None
+    except Exception as exc:  # the REPL must survive any command error
+        return f"error: {exc}"
+
+
+def _dispatch(shell: HacShell, cmd: str, args: List[str]) -> Optional[str]:
+    if cmd in ("quit", "exit"):
+        raise SystemExit
+    if cmd == "help":
+        return HELP
+    if cmd == "ls":
+        long = "-l" in args
+        paths = [a for a in args if a != "-l"]
+        return shell.ls(paths[0] if paths else "", long=long)
+    if cmd == "cd":
+        return shell.cd(args[0] if args else "/")
+    if cmd == "pwd":
+        return shell.pwd()
+    if cmd == "mkdir":
+        shell.mkdir(args[0])
+        return ""
+    if cmd == "rmdir":
+        shell.rmdir(args[0])
+        return ""
+    if cmd == "cat":
+        return shell.cat(args[0])
+    if cmd == "write":
+        shell.write(args[0], " ".join(args[1:]) + "\n")
+        return ""
+    if cmd == "mv":
+        shell.mv(args[0], args[1])
+        return ""
+    if cmd == "rm":
+        shell.rm(args[0])
+        return ""
+    if cmd == "ln":
+        shell.ln(args[0], args[1])
+        return ""
+    if cmd == "smkdir":
+        path = shell.smkdir(args[0], " ".join(args[1:]))
+        return f"semantic directory {path}"
+    if cmd == "squery":
+        return str(shell.squery(args[0] if args else ""))
+    if cmd == "schquery":
+        shell.schquery(args[0], " ".join(args[1:]) or None)
+        return ""
+    if cmd == "sls":
+        rows = shell.sls(args[0] if args else "")
+        return "\n".join(f"{name}  [{cls}]  {tgt}" for name, cls, tgt in rows)
+    if cmd == "sact":
+        return "\n".join(shell.sact(args[0]))
+    if cmd == "ssync":
+        plan = shell.ssync(args[0] if args else "/")
+        return repr(plan)
+    if cmd == "smount":
+        path = args[0] if args and args[0] != "demo" else "/library"
+        service = SimulatedSearchService("demolib", documents=_DEMO_LIBRARY_DOCS)
+        shell.smount(path, service)
+        return f"mounted demo library at {path}"
+    if cmd == "glimpse":
+        return "\n".join(shell.glimpse(" ".join(args)))
+    if cmd == "swatch":
+        return f"watching {shell.swatch(args[0])}"
+    if cmd == "sunwatch":
+        return "unwatched" if shell.sunwatch(args[0]) else "was not watched"
+    if cmd == "fsck":
+        findings = shell.fsck(repair="--repair" in args)
+        return "\n".join(findings) if findings else "clean"
+    return f"unknown command: {cmd} (try help)"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``hac`` console script."""
+    shell = build_demo_shell()
+    print("HAC demo shell — 'help' for commands, 'quit' to leave.")
+    while True:
+        try:
+            line = input(f"hac:{shell.pwd()}> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        out = execute(shell, line)
+        if out is None:
+            return 0
+        if out:
+            print(out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Listing and table formatting for the shell."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.vfs.inode import InodeType
+
+_TYPE_CHAR = {
+    InodeType.DIRECTORY: "d",
+    InodeType.FILE: "-",
+    InodeType.SYMLINK: "l",
+}
+
+
+def mode_string(node_type: InodeType, mode: int) -> str:
+    """``drwxr-xr-x``-style rendering."""
+    chars = [_TYPE_CHAR.get(node_type, "?")]
+    for shift in (6, 3, 0):
+        bits = (mode >> shift) & 0o7
+        chars.append("r" if bits & 4 else "-")
+        chars.append("w" if bits & 2 else "-")
+        chars.append("x" if bits & 1 else "-")
+    return "".join(chars)
+
+
+def long_listing(rows: Sequence[Tuple[str, InodeType, int, int, float,
+                                      Optional[str], Optional[str]]]) -> str:
+    """Render ``ls -l`` rows.
+
+    Each row: (name, type, mode, size, mtime, link target, classification).
+    The classification column is the HAC twist: transient links show ``(t)``,
+    permanent ``(p)`` — the distinction is otherwise hidden, as the paper
+    intends.
+    """
+    lines = []
+    width = max((len(str(r[3])) for r in rows), default=1)
+    for name, node_type, mode, size, mtime, target, cls in rows:
+        tag = {"transient": " (t)", "permanent": " (p)"}.get(cls or "", "")
+        suffix = f" -> {target}" if target is not None else ""
+        lines.append(f"{mode_string(node_type, mode)} {size:>{width}} "
+                     f"t={mtime:<8g} {name}{suffix}{tag}")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with padded columns (benchmark output)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    out = []
+    for idx, row in enumerate(cells):
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)

@@ -1,0 +1,189 @@
+"""HacShell — the paper's command set over one HAC file system.
+
+"Well-known file system commands, such as cd, ls, mkdir, mv, rm etc., can
+be used to access and manipulate objects in the file system in the usual
+way.  HAC also provides additional commands that manipulate queries and
+semantic directories."  (§4)
+
+The shell resolves relative paths against a current working directory and
+maps each command onto :class:`~repro.core.hacfs.HacFileSystem`.  The
+semantic commands follow the paper's names where it gives them: ``smkdir``
+creates a semantic directory, ``squery``/``schquery`` read and change a
+query (the paper calls these ``sreadin``/``srm``), ``sact`` extracts the
+matching content of a link, ``smount`` adds a semantic mount point, and
+``ssync`` re-evaluates everything depending on a directory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FileNotFound, NotADirectory
+from repro.util import pathutil
+from repro.core.hacfs import HacFileSystem
+from repro.remote.namespace import NameSpace
+from repro.shell.formatting import long_listing
+from repro.vfs.filesystem import FileSystem
+
+
+class HacShell:
+    """One user's session: a cwd plus the command set."""
+
+    def __init__(self, hacfs: Optional[HacFileSystem] = None):
+        self.hacfs = hacfs if hacfs is not None else HacFileSystem()
+        self.cwd = "/"
+
+    # -- path handling ---------------------------------------------------------
+
+    def resolve_path(self, path: str) -> str:
+        """Make *path* absolute against the cwd (lexical; ``..`` is resolved
+        by the VFS so symlinked directories behave correctly)."""
+        if not path:
+            return self.cwd
+        return path if pathutil.is_absolute(path) else pathutil.join(self.cwd, path)
+
+    # -- navigation ---------------------------------------------------------------
+
+    def cd(self, path: str) -> str:
+        target = self.resolve_path(path)
+        res = self.hacfs.fs.resolve(target)
+        if not res.node.is_dir:
+            raise NotADirectory(target)
+        self.cwd = self.hacfs._canonical_dir(target)
+        return self.cwd
+
+    def pwd(self) -> str:
+        return self.cwd
+
+    # -- listing ----------------------------------------------------------------
+
+    def ls(self, path: str = "", long: bool = False) -> str:
+        target = self.resolve_path(path)
+        names = self.hacfs.listdir(target)
+        if not long:
+            return "\n".join(names)
+        classifications = {}
+        try:
+            classifications = {name: cls for name, (cls, _t)
+                               in self.hacfs.links(target).items()}
+        except (FileNotFound, KeyError):
+            pass
+        rows = []
+        for name in names:
+            entry = pathutil.join(target, name)
+            st = self.hacfs.lstat(entry)
+            link_target = self.hacfs.readlink(entry) if st.is_symlink else None
+            rows.append((name, st.type, st.attrs.mode, st.size, st.mtime,
+                         link_target, classifications.get(name)))
+        return long_listing(rows)
+
+    def sls(self, path: str = "") -> List[Tuple[str, str, str]]:
+        """Classified link listing: (name, classification, target)."""
+        target = self.resolve_path(path)
+        return sorted((name, cls, tgt) for name, (cls, tgt)
+                      in self.hacfs.links(target).items())
+
+    # -- ordinary commands ----------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        self.hacfs.mkdir(self.resolve_path(path))
+
+    def rmdir(self, path: str) -> None:
+        self.hacfs.rmdir(self.resolve_path(path))
+
+    def touch(self, path: str) -> None:
+        target = self.resolve_path(path)
+        if not self.hacfs.exists(target, follow=False):
+            self.hacfs.create(target)
+
+    def write(self, path: str, text: str, append: bool = False) -> int:
+        return self.hacfs.write_file(self.resolve_path(path),
+                                     text.encode("utf-8"), append=append)
+
+    def cat(self, path: str) -> str:
+        return self.hacfs.read_file(self.resolve_path(path)).decode(
+            "utf-8", errors="replace")
+
+    def cp(self, src: str, dst: str) -> None:
+        data = self.hacfs.read_file(self.resolve_path(src))
+        self.hacfs.write_file(self.resolve_path(dst), data)
+
+    def mv(self, src: str, dst: str) -> None:
+        self.hacfs.rename(self.resolve_path(src), self.resolve_path(dst))
+
+    def rm(self, path: str) -> None:
+        self.hacfs.unlink(self.resolve_path(path))
+
+    def ln(self, target: str, linkpath: str) -> None:
+        self.hacfs.symlink(self.resolve_path(target),
+                           self.resolve_path(linkpath))
+
+    def stat(self, path: str):
+        return self.hacfs.stat(self.resolve_path(path))
+
+    # -- semantic commands -------------------------------------------------------------
+
+    def smkdir(self, path: str, query: str) -> str:
+        return self.hacfs.smkdir(self.resolve_path(path), query)
+
+    def squery(self, path: str = "") -> Optional[str]:
+        """Read a directory's query (the paper's ``sreadin``)."""
+        return self.hacfs.get_query(self.resolve_path(path))
+
+    def schquery(self, path: str, query: Optional[str]) -> None:
+        """Change (or with None, detach) a directory's query."""
+        self.hacfs.set_query(self.resolve_path(path), query)
+
+    def sact(self, link_path: str) -> List[str]:
+        return self.hacfs.sact(self.resolve_path(link_path))
+
+    def ssync(self, path: str = "/"):
+        return self.hacfs.ssync(self.resolve_path(path))
+
+    def smount(self, path: str, namespace: NameSpace) -> None:
+        self.hacfs.smount(self.resolve_path(path), namespace)
+
+    def sunmount(self, path: str, namespace_id: Optional[str] = None) -> None:
+        self.hacfs.sunmount(self.resolve_path(path), namespace_id)
+
+    def mount(self, path: str, fs: FileSystem) -> None:
+        self.hacfs.mount(self.resolve_path(path), fs)
+
+    def unmount(self, path: str) -> FileSystem:
+        return self.hacfs.unmount(self.resolve_path(path))
+
+    def sprohibited(self, path: str = "") -> List[str]:
+        return self.hacfs.prohibited(self.resolve_path(path))
+
+    def spermanent(self, link_path: str) -> None:
+        self.hacfs.make_permanent(self.resolve_path(link_path))
+
+    def swatch(self, path: str) -> str:
+        """Keep a subtree index-fresh on every write (eager mode)."""
+        return self.hacfs.watch(self.resolve_path(path))
+
+    def sunwatch(self, path: str) -> bool:
+        return self.hacfs.unwatch(self.resolve_path(path))
+
+    def fsck(self, repair: bool = False) -> List[str]:
+        """Audit HAC's structures; returns rendered findings."""
+        return [str(f) for f in self.hacfs.fsck(repair=repair)]
+
+    def glimpse(self, query: str, scope_path: str = "/") -> List[str]:
+        """Ad-hoc search without creating a semantic directory — the
+        'regular glimpse' usage the Table 4 bench compares against."""
+        from repro.cba.queryparser import parse_query
+        from repro.cba import evaluator
+
+        ast = parse_query(query, resolve_dir=self.hacfs.dirmap.uid_of)
+        scope = self.hacfs.scopes.provided(self.resolve_path(scope_path))
+        hits = evaluator.evaluate(
+            ast, self.hacfs.engine,
+            resolve_dirref=lambda uid: self.hacfs.scopes.provided_by_uid(uid).local,
+            scope=scope.local)
+        out = []
+        for doc_id in hits:
+            doc = self.hacfs.engine.doc_by_id(doc_id)
+            if doc is not None:
+                out.append(doc.path)
+        return sorted(out)

@@ -1,0 +1,196 @@
+"""Compact bit-set over non-negative integer ids.
+
+The paper stores the result of each semantic directory's query as a bitmap of
+``N/8`` bytes, where ``N`` is the number of indexed files ("we use bitmaps
+since it is simple to implement and has speed advantages for Glimpse").  This
+module is that representation: a growable bit vector with the set algebra the
+scope-consistency algorithm needs (and/or/difference), plus population count
+and iteration for materialising symbolic links.
+
+The implementation keeps a ``bytearray`` and normalises trailing zero bytes
+away so that equality and ``nbytes`` reflect the logical set, not the
+allocation history.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
+
+
+class Bitmap:
+    """A growable set of non-negative integers stored one bit per id.
+
+    >>> b = Bitmap([1, 9])
+    >>> 9 in b and 1 in b
+    True
+    >>> sorted(b | Bitmap([2]))
+    [1, 2, 9]
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, ids: Iterable[int] = ()):
+        self._bits = bytearray()
+        for i in ids:
+            self.add(i)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bitmap":
+        """Rebuild a bitmap from :meth:`to_bytes` output."""
+        bm = cls()
+        bm._bits = bytearray(data)
+        bm._trim()
+        return bm
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the paper's N/8-byte on-disk form."""
+        return bytes(self._bits)
+
+    def copy(self) -> "Bitmap":
+        bm = Bitmap()
+        bm._bits = bytearray(self._bits)
+        return bm
+
+    # -- element operations --------------------------------------------------
+
+    def add(self, i: int) -> None:
+        if i < 0:
+            raise ValueError(f"bitmap ids must be non-negative, got {i}")
+        byte, bit = divmod(i, 8)
+        if byte >= len(self._bits):
+            self._bits.extend(b"\x00" * (byte + 1 - len(self._bits)))
+        self._bits[byte] |= 1 << bit
+
+    def discard(self, i: int) -> None:
+        if i < 0:
+            return
+        byte, bit = divmod(i, 8)
+        if byte < len(self._bits):
+            self._bits[byte] &= ~(1 << bit) & 0xFF
+            self._trim()
+
+    def __contains__(self, i: int) -> bool:
+        if i < 0:
+            return False
+        byte, bit = divmod(i, 8)
+        return byte < len(self._bits) and bool(self._bits[byte] & (1 << bit))
+
+    # -- set algebra ---------------------------------------------------------
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        short, long_ = sorted((self._bits, other._bits), key=len)
+        out = bytearray(long_)
+        for idx, byte in enumerate(short):
+            out[idx] |= byte
+        result = Bitmap()
+        result._bits = out
+        return result
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        n = min(len(self._bits), len(other._bits))
+        out = bytearray(n)
+        for idx in range(n):
+            out[idx] = self._bits[idx] & other._bits[idx]
+        result = Bitmap()
+        result._bits = out
+        result._trim()
+        return result
+
+    def __sub__(self, other: "Bitmap") -> "Bitmap":
+        out = bytearray(self._bits)
+        n = min(len(out), len(other._bits))
+        for idx in range(n):
+            out[idx] &= ~other._bits[idx] & 0xFF
+        result = Bitmap()
+        result._bits = out
+        result._trim()
+        return result
+
+    def __ior__(self, other: "Bitmap") -> "Bitmap":
+        if len(other._bits) > len(self._bits):
+            self._bits.extend(b"\x00" * (len(other._bits) - len(self._bits)))
+        for idx, byte in enumerate(other._bits):
+            self._bits[idx] |= byte
+        return self
+
+    def __iand__(self, other: "Bitmap") -> "Bitmap":
+        n = min(len(self._bits), len(other._bits))
+        del self._bits[n:]
+        for idx in range(n):
+            self._bits[idx] &= other._bits[idx]
+        self._trim()
+        return self
+
+    def __isub__(self, other: "Bitmap") -> "Bitmap":
+        n = min(len(self._bits), len(other._bits))
+        for idx in range(n):
+            self._bits[idx] &= ~other._bits[idx] & 0xFF
+        self._trim()
+        return self
+
+    def intersects(self, other: "Bitmap") -> bool:
+        n = min(len(self._bits), len(other._bits))
+        return any(self._bits[i] & other._bits[i] for i in range(n))
+
+    def issubset(self, other: "Bitmap") -> bool:
+        if len(self._bits) > len(other._bits):
+            # any set bit beyond other's extent breaks the subset relation
+            if any(self._bits[len(other._bits):]):
+                return False
+        n = min(len(self._bits), len(other._bits))
+        return all((self._bits[i] & ~other._bits[i] & 0xFF) == 0 for i in range(n))
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(_POPCOUNT[b] for b in self._bits)
+
+    def __bool__(self) -> bool:
+        return any(self._bits)
+
+    def __iter__(self) -> Iterator[int]:
+        for byte_idx, byte in enumerate(self._bits):
+            if not byte:
+                continue
+            base = byte_idx * 8
+            for bit in range(8):
+                if byte & (1 << bit):
+                    yield base + bit
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __hash__(self):
+        return hash(bytes(self._bits))
+
+    def __repr__(self) -> str:
+        members = list(self)
+        if len(members) > 12:
+            head = ", ".join(str(m) for m in members[:12])
+            return f"Bitmap({{{head}, ... {len(members)} ids}})"
+        return f"Bitmap({{{', '.join(str(m) for m in members)}}})"
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the on-disk form occupies — the paper's N/8 figure."""
+        return len(self._bits)
+
+    def max_id(self) -> int:
+        """Largest member, or -1 when empty."""
+        for byte_idx in range(len(self._bits) - 1, -1, -1):
+            byte = self._bits[byte_idx]
+            if byte:
+                return byte_idx * 8 + byte.bit_length() - 1
+        return -1
+
+    # -- internals -----------------------------------------------------------
+
+    def _trim(self) -> None:
+        while self._bits and self._bits[-1] == 0:
+            del self._bits[-1]

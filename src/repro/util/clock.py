@@ -1,0 +1,90 @@
+"""Virtual time for the simulated system.
+
+Everything time-related in the reproduction — inode mtimes, index snapshot
+times, the periodic reindex scheduler of §2.4, RPC latency accounting — runs
+off one :class:`VirtualClock` so tests and benchmarks are deterministic.
+
+The clock only moves when advanced explicitly (``advance``/``tick``), or when
+a component charges simulated latency to it (the RPC layer and block device
+do this).  Timers fire during ``advance`` in timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Timer:
+    """Handle for a scheduled callback; cancel with :meth:`cancel`."""
+
+    __slots__ = ("deadline", "interval", "callback", "cancelled", "name")
+
+    def __init__(self, deadline: float, interval: Optional[float],
+                 callback: Callable[[], None], name: str):
+        self.deadline = deadline
+        self.interval = interval
+        self.callback = callback
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self):
+        kind = "periodic" if self.interval else "one-shot"
+        return f"Timer({self.name!r}, {kind}, deadline={self.deadline})"
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock with timers."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, firing due timers in order."""
+        if seconds < 0:
+            raise ValueError("the clock cannot run backwards")
+        deadline = self._now + seconds
+        while self._heap and self._heap[0][0] <= deadline:
+            when, _, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = max(self._now, when)
+            timer.callback()
+            if timer.interval and not timer.cancelled:
+                timer.deadline = when + timer.interval
+                heapq.heappush(self._heap, (timer.deadline, next(self._seq), timer))
+        self._now = deadline
+
+    def tick(self) -> None:
+        """Advance by one second — convenient for mtimes in tests."""
+        self.advance(1.0)
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 name: str = "timer") -> Timer:
+        """Run *callback* once, *delay* seconds from now."""
+        timer = Timer(self._now + delay, None, callback, name)
+        heapq.heappush(self._heap, (timer.deadline, next(self._seq), timer))
+        return timer
+
+    def schedule_periodic(self, interval: float, callback: Callable[[], None],
+                          name: str = "periodic") -> Timer:
+        """Run *callback* every *interval* seconds until cancelled."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        timer = Timer(self._now + interval, interval, callback, name)
+        heapq.heappush(self._heap, (timer.deadline, next(self._seq), timer))
+        return timer
+
+    def pending(self) -> List[Timer]:
+        """Live timers, soonest first (for introspection in tests)."""
+        return [t for _, _, t in sorted(self._heap) if not t.cancelled]

@@ -1,0 +1,164 @@
+"""Pure-string path algebra for the VFS.
+
+All VFS paths use ``/`` separators and are rooted at ``/``.  These helpers
+never touch a file system; resolution of ``..`` against symlinks is the job
+of :meth:`repro.vfs.filesystem.FileSystem._namei`, which works component by
+component.  What lives here is the lexical layer: normalisation, splitting,
+joining, and ancestry tests used throughout the semantic layer (e.g. to find
+which semantic directories are affected by a rename).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+SEP = "/"
+ROOT = "/"
+
+
+def is_absolute(path: str) -> bool:
+    """True when *path* starts at the root."""
+    return path.startswith(SEP)
+
+
+def split_components(path: str) -> List[str]:
+    """Split into non-empty components; ``.`` components are dropped.
+
+    ``..`` components are preserved — collapsing them lexically would be
+    wrong in the presence of symlinks.
+
+    >>> split_components("/a//b/./c")
+    ['a', 'b', 'c']
+    """
+    return [c for c in path.split(SEP) if c and c != "."]
+
+
+def normalize(path: str) -> str:
+    """Lexically normalise an absolute path (no ``..`` collapsing).
+
+    >>> normalize("/a//b/./c/")
+    '/a/b/c'
+    >>> normalize("///")
+    '/'
+    """
+    if not is_absolute(path):
+        raise ValueError(f"expected absolute path, got {path!r}")
+    comps = split_components(path)
+    return ROOT + SEP.join(comps)
+
+
+def join(base: str, *parts: str) -> str:
+    """Join path fragments; an absolute fragment resets the result.
+
+    >>> join("/a", "b", "c")
+    '/a/b/c'
+    >>> join("/a", "/x", "y")
+    '/x/y'
+    """
+    result = base
+    for part in parts:
+        if not part:
+            continue
+        if is_absolute(part):
+            result = part
+        elif result.endswith(SEP):
+            result = result + part
+        else:
+            result = result + SEP + part
+    return normalize(result) if is_absolute(result) else result
+
+
+def split(path: str) -> Tuple[str, str]:
+    """Split into ``(parent, basename)``.
+
+    >>> split("/a/b/c")
+    ('/a/b', 'c')
+    >>> split("/a")
+    ('/', 'a')
+    >>> split("/")
+    ('/', '')
+    """
+    norm = normalize(path)
+    if norm == ROOT:
+        return ROOT, ""
+    parent, _, name = norm.rpartition(SEP)
+    return (parent or ROOT), name
+
+
+def basename(path: str) -> str:
+    return split(path)[1]
+
+
+def dirname(path: str) -> str:
+    return split(path)[0]
+
+
+def is_ancestor(ancestor: str, path: str, strict: bool = True) -> bool:
+    """True when *ancestor* is a path prefix of *path* (component-wise).
+
+    >>> is_ancestor("/a/b", "/a/b/c")
+    True
+    >>> is_ancestor("/a/b", "/a/bc")
+    False
+    >>> is_ancestor("/a", "/a", strict=False)
+    True
+    """
+    a = normalize(ancestor)
+    p = normalize(path)
+    if a == p:
+        return not strict
+    if a == ROOT:
+        return True
+    return p.startswith(a + SEP)
+
+
+def relative_to(path: str, ancestor: str) -> str:
+    """Components of *path* below *ancestor*, joined by ``/``.
+
+    >>> relative_to("/a/b/c", "/a")
+    'b/c'
+    """
+    if not is_ancestor(ancestor, path, strict=False):
+        raise ValueError(f"{path!r} is not under {ancestor!r}")
+    a = normalize(ancestor)
+    p = normalize(path)
+    if a == p:
+        return ""
+    if a == ROOT:
+        return p[1:]
+    return p[len(a) + 1:]
+
+
+def rebase(path: str, old_ancestor: str, new_ancestor: str) -> str:
+    """Translate *path* from under *old_ancestor* to under *new_ancestor*.
+
+    Used when a rename moves a whole subtree: every tracked path below the
+    old location must be re-rooted below the new one.
+
+    >>> rebase("/a/b/c", "/a/b", "/x")
+    '/x/c'
+    """
+    rel = relative_to(path, old_ancestor)
+    return join(normalize(new_ancestor), rel) if rel else normalize(new_ancestor)
+
+
+def ancestors(path: str) -> Iterator[str]:
+    """Yield every proper ancestor from the root down.
+
+    >>> list(ancestors("/a/b/c"))
+    ['/', '/a', '/a/b']
+    """
+    norm = normalize(path)
+    if norm == ROOT:
+        return
+    yield ROOT
+    comps = split_components(norm)
+    cur = ""
+    for comp in comps[:-1]:
+        cur = cur + SEP + comp
+        yield cur
+
+
+def depth(path: str) -> int:
+    """Number of components below the root (root itself has depth 0)."""
+    return len(split_components(normalize(path)))

@@ -1,0 +1,279 @@
+"""Sparse result-set representation (the paper's §4 future work).
+
+"We plan to improve this in future by using better sparse-set
+representations, so that it is possible to index a very large number of
+files."  The flat N/8 bitmap costs N/8 bytes per stored result even when a
+semantic directory holds three links out of ten million files.
+
+:class:`SparseSet` is that improvement, Roaring-style: the id space is
+split into 65 536-wide chunks; each populated chunk stores its members
+either as a sorted ``array('H')`` of low 16-bit halves (sparse chunks) or
+as an 8 KiB bitmap (dense chunks), switching representation at the
+break-even point (4 096 members, where 2 bytes/member equals the bitmap).
+Size is then proportional to membership for sparse data and bounded by
+N/8 + chunk directory for dense data.
+
+The API mirrors :class:`repro.util.bitmap.Bitmap` (add/discard/contains/
+iteration/algebra/serialisation), so it can stand in wherever result sets
+flow; ``benchmarks/bench_ablation_sparseset.py`` quantifies the trade.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Dict, Iterable, Iterator
+
+CHUNK_BITS = 16
+CHUNK_SIZE = 1 << CHUNK_BITS          # ids per chunk
+_LOW_MASK = CHUNK_SIZE - 1
+#: members at which an array chunk (2 B each) outgrows an 8 KiB bitmap
+DENSE_THRESHOLD = CHUNK_SIZE // 16
+
+_ARRAY = 0
+_BITMAP = 1
+
+_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
+
+
+class _Chunk:
+    """One 65 536-id chunk: sorted uint16 array or 8 KiB bitmap."""
+
+    __slots__ = ("kind", "data")
+
+    def __init__(self):
+        self.kind = _ARRAY
+        self.data = array("H")
+
+    # -- membership ----------------------------------------------------------
+
+    def __contains__(self, low: int) -> bool:
+        if self.kind == _ARRAY:
+            idx = _bisect(self.data, low)
+            return idx < len(self.data) and self.data[idx] == low
+        byte, bit = divmod(low, 8)
+        return bool(self.data[byte] & (1 << bit))
+
+    def add(self, low: int) -> None:
+        if self.kind == _ARRAY:
+            idx = _bisect(self.data, low)
+            if idx < len(self.data) and self.data[idx] == low:
+                return
+            self.data.insert(idx, low)
+            if len(self.data) > DENSE_THRESHOLD:
+                self._to_bitmap()
+        else:
+            byte, bit = divmod(low, 8)
+            self.data[byte] |= 1 << bit
+
+    def discard(self, low: int) -> None:
+        if self.kind == _ARRAY:
+            idx = _bisect(self.data, low)
+            if idx < len(self.data) and self.data[idx] == low:
+                del self.data[idx]
+        else:
+            byte, bit = divmod(low, 8)
+            self.data[byte] &= ~(1 << bit) & 0xFF
+            # demote when sparse again (hysteresis at half the threshold)
+            if len(self) < DENSE_THRESHOLD // 2:
+                self._to_array()
+
+    def _to_bitmap(self) -> None:
+        bits = bytearray(CHUNK_SIZE // 8)
+        for low in self.data:
+            bits[low // 8] |= 1 << (low % 8)
+        self.kind = _BITMAP
+        self.data = bits
+
+    def _to_array(self) -> None:
+        arr = array("H", list(self))
+        self.kind = _ARRAY
+        self.data = arr
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self.kind == _ARRAY:
+            return len(self.data)
+        return sum(_POPCOUNT[b] for b in self.data)
+
+    def __iter__(self) -> Iterator[int]:
+        if self.kind == _ARRAY:
+            return iter(self.data)
+        return self._iter_bitmap()
+
+    def _iter_bitmap(self) -> Iterator[int]:
+        for byte_idx, byte in enumerate(self.data):
+            if not byte:
+                continue
+            base = byte_idx * 8
+            for bit in range(8):
+                if byte & (1 << bit):
+                    yield base + bit
+
+    def nbytes(self) -> int:
+        if self.kind == _ARRAY:
+            return 2 * len(self.data)
+        return len(self.data)
+
+    def copy(self) -> "_Chunk":
+        dup = _Chunk.__new__(_Chunk)
+        dup.kind = self.kind
+        dup.data = array("H", self.data) if self.kind == _ARRAY \
+            else bytearray(self.data)
+        return dup
+
+
+def _bisect(arr: array, value: int) -> int:
+    lo, hi = 0, len(arr)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if arr[mid] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class SparseSet:
+    """A Roaring-style growable set of non-negative integers."""
+
+    __slots__ = ("_chunks",)
+
+    def __init__(self, ids: Iterable[int] = ()):
+        self._chunks: Dict[int, _Chunk] = {}
+        for i in ids:
+            self.add(i)
+
+    # -- element operations ----------------------------------------------------
+
+    def add(self, i: int) -> None:
+        if i < 0:
+            raise ValueError(f"ids must be non-negative, got {i}")
+        chunk = self._chunks.get(i >> CHUNK_BITS)
+        if chunk is None:
+            chunk = self._chunks[i >> CHUNK_BITS] = _Chunk()
+        chunk.add(i & _LOW_MASK)
+
+    def discard(self, i: int) -> None:
+        if i < 0:
+            return
+        high = i >> CHUNK_BITS
+        chunk = self._chunks.get(high)
+        if chunk is not None:
+            chunk.discard(i & _LOW_MASK)
+            if not len(chunk):
+                del self._chunks[high]
+
+    def __contains__(self, i: int) -> bool:
+        if i < 0:
+            return False
+        chunk = self._chunks.get(i >> CHUNK_BITS)
+        return chunk is not None and (i & _LOW_MASK) in chunk
+
+    # -- set algebra -------------------------------------------------------------
+
+    def __or__(self, other: "SparseSet") -> "SparseSet":
+        out = self.copy()
+        for i in other:
+            out.add(i)
+        return out
+
+    def __and__(self, other: "SparseSet") -> "SparseSet":
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        out = SparseSet()
+        for i in small:
+            if i in large:
+                out.add(i)
+        return out
+
+    def __sub__(self, other: "SparseSet") -> "SparseSet":
+        out = SparseSet()
+        for i in self:
+            if i not in other:
+                out.add(i)
+        return out
+
+    def issubset(self, other: "SparseSet") -> bool:
+        return all(i in other for i in self)
+
+    def intersects(self, other: "SparseSet") -> bool:
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return any(i in large for i in small)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._chunks.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._chunks)
+
+    def __iter__(self) -> Iterator[int]:
+        for high in sorted(self._chunks):
+            base = high << CHUNK_BITS
+            for low in self._chunks[high]:
+                yield base + low
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseSet):
+            return NotImplemented
+        return len(self) == len(other) and all(i in other for i in self)
+
+    def __repr__(self):
+        n = len(self)
+        head = ", ".join(str(i) for _i, i in zip(range(8), self))
+        suffix = ", ..." if n > 8 else ""
+        return f"SparseSet({{{head}{suffix}}} n={n})"
+
+    def copy(self) -> "SparseSet":
+        out = SparseSet()
+        out._chunks = {h: c.copy() for h, c in self._chunks.items()}
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Serialised size — the number the paper's future work cares about."""
+        # 6 bytes of directory per chunk (high half + kind + length)
+        return sum(6 + c.nbytes() for c in self._chunks.values())
+
+    def max_id(self) -> int:
+        if not self._chunks:
+            return -1
+        high = max(self._chunks)
+        return (high << CHUNK_BITS) + max(self._chunks[high])
+
+    # -- serialisation ----------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(struct.pack(">I", len(self._chunks)))
+        for high in sorted(self._chunks):
+            chunk = self._chunks[high]
+            payload = chunk.data.tobytes() if chunk.kind == _ARRAY \
+                else bytes(chunk.data)
+            out += struct.pack(">IBI", high, chunk.kind, len(payload))
+            out += payload
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SparseSet":
+        out = cls()
+        (count,) = struct.unpack_from(">I", data, 0)
+        offset = 4
+        for _ in range(count):
+            high, kind, length = struct.unpack_from(">IBI", data, offset)
+            offset += 9
+            payload = data[offset:offset + length]
+            offset += length
+            chunk = _Chunk.__new__(_Chunk)
+            chunk.kind = kind
+            if kind == _ARRAY:
+                arr = array("H")
+                arr.frombytes(payload)
+                chunk.data = arr
+            else:
+                chunk.data = bytearray(payload)
+            out._chunks[high] = chunk
+        if offset != len(data):
+            raise ValueError(f"{len(data) - offset} trailing bytes")
+        return out

@@ -1,0 +1,80 @@
+"""Hierarchical instrumentation counters.
+
+Every substrate (block device, VFS, CBA engine, HAC core, RPC transport)
+charges its work to a :class:`Counters` instance.  Benchmarks read these to
+report *simulated* cost (I/O operations, bytes moved, queries evaluated)
+alongside wall-clock time, which keeps the paper-shape comparisons meaningful
+even though Python timings are noisy.
+
+Counter names are dotted (``"vfs.namei"``, ``"blockdev.read_blocks"``);
+:meth:`Counters.scoped` returns a view that prefixes a component name so a
+module never has to repeat its own prefix.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A named bag of monotonically increasing numeric counters."""
+
+    def __init__(self):
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def total(self, prefix: str) -> float:
+        """Sum of every counter under a dotted prefix."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return sum(v for k, v in self._values.items()
+                   if k == prefix or k.startswith(dotted))
+
+    def scoped(self, prefix: str) -> "ScopedCounters":
+        return ScopedCounters(self, prefix)
+
+    def diff(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Counters that changed since a :meth:`snapshot`."""
+        out = {}
+        for name, value in self._values.items():
+            delta = value - before.get(name, 0.0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def __repr__(self):
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        return f"Counters({body})"
+
+
+class ScopedCounters:
+    """View over a :class:`Counters` that prefixes every name."""
+
+    __slots__ = ("_parent", "_prefix")
+
+    def __init__(self, parent: Counters, prefix: str):
+        self._parent = parent
+        self._prefix = prefix.rstrip(".")
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._parent.add(f"{self._prefix}.{name}", amount)
+
+    def get(self, name: str) -> float:
+        return self._parent.get(f"{self._prefix}.{name}")
+
+    def scoped(self, prefix: str) -> "ScopedCounters":
+        return ScopedCounters(self._parent, f"{self._prefix}.{prefix}")

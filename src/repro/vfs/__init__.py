@@ -1,0 +1,40 @@
+"""The hierarchical file-system substrate.
+
+The paper layers HAC over a SunOS UNIX file system; this package is our
+equivalent substrate — a POSIX-like, in-memory virtual file system with:
+
+* inodes for regular files, directories and symbolic links
+  (:mod:`repro.vfs.inode`);
+* a simulated block device that accounts for every data and metadata I/O
+  (:mod:`repro.vfs.blockdev`), so benchmark overheads come from work the
+  code actually performs;
+* full path resolution with symlink following and loop detection, and the
+  usual operation set — mkdir/rmdir/create/open/read/write/rename/unlink/
+  symlink/stat (:mod:`repro.vfs.filesystem`);
+* per-process file-descriptor tables (:mod:`repro.vfs.fd`);
+* a shared attribute cache mirroring the paper's shared-memory stat cache
+  (:mod:`repro.vfs.attrcache`);
+* syntactic mount points grafting one file system onto another
+  (``FileSystem.mount``/``unmount``);
+* recursive tree walking helpers (:mod:`repro.vfs.walker`).
+"""
+
+from repro.vfs.attrcache import AttributeCache
+from repro.vfs.blockdev import BlockDevice
+from repro.vfs.fd import FDTable, OpenFile
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.inode import Attributes, DirNode, FileNode, Inode, InodeType, SymlinkNode
+
+__all__ = [
+    "AttributeCache",
+    "BlockDevice",
+    "FDTable",
+    "OpenFile",
+    "FileSystem",
+    "Attributes",
+    "DirNode",
+    "FileNode",
+    "Inode",
+    "InodeType",
+    "SymlinkNode",
+]

@@ -1,0 +1,128 @@
+"""Simulated block device with I/O accounting.
+
+The VFS stores file bytes in memory, but every operation charges this device
+as though it had touched disk: data reads/writes are charged per block,
+metadata updates (inode writes, directory entries, HAC's per-directory
+records) per record.  The counters let benchmarks report simulated I/O cost
+next to wall-clock time, and the optional capacity limit produces honest
+``ENOSPC`` behaviour for failure-injection tests.
+
+The device also provides a small record store keyed by string — this is the
+"disk" that HAC's MetaStore writes per-directory state to (the extra I/O the
+paper blames for the Makedir/Copy overheads in Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import NoSpace
+from repro.util.stats import Counters
+
+
+class BlockDevice:
+    """Accounting-only block device.
+
+    :param block_size: bytes per block (default 4096, as in the paper's era
+        of UNIX file systems... roughly).
+    :param capacity_blocks: optional hard limit; exceeding it raises
+        :class:`repro.errors.NoSpace`.
+    :param counters: shared :class:`Counters`; the device writes under the
+        ``blockdev.`` prefix.
+    """
+
+    def __init__(self, block_size: int = 4096,
+                 capacity_blocks: Optional[int] = None,
+                 counters: Optional[Counters] = None):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self.capacity_blocks = capacity_blocks
+        self.counters = counters if counters is not None else Counters()
+        self._io = self.counters.scoped("blockdev")
+        self._data_blocks = 0
+        self._meta_bytes = 0
+        self._records: Dict[str, bytes] = {}
+
+    # -- capacity ------------------------------------------------------------
+
+    def _blocks_for(self, nbytes: int) -> int:
+        return (nbytes + self.block_size - 1) // self.block_size
+
+    @property
+    def used_blocks(self) -> int:
+        return self._data_blocks + self._blocks_for(self._meta_bytes)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_blocks * self.block_size
+
+    def _check_capacity(self, extra_blocks: int, path: str = "") -> None:
+        if self.capacity_blocks is None:
+            return
+        if self.used_blocks + extra_blocks > self.capacity_blocks:
+            raise NoSpace(path, f"device full ({self.capacity_blocks} blocks)")
+
+    # -- data I/O -------------------------------------------------------------
+
+    def charge_read(self, nbytes: int) -> None:
+        blocks = max(1, self._blocks_for(nbytes))
+        self._io.add("read_ops")
+        self._io.add("read_blocks", blocks)
+
+    def charge_write(self, nbytes: int) -> None:
+        blocks = max(1, self._blocks_for(nbytes))
+        self._io.add("write_ops")
+        self._io.add("write_blocks", blocks)
+
+    def allocate(self, old_nbytes: int, new_nbytes: int, path: str = "") -> None:
+        """Adjust data-block accounting when a file grows or shrinks."""
+        old_blocks = self._blocks_for(old_nbytes)
+        new_blocks = self._blocks_for(new_nbytes)
+        if new_blocks > old_blocks:
+            self._check_capacity(new_blocks - old_blocks, path)
+        self._data_blocks += new_blocks - old_blocks
+
+    # -- metadata I/O ----------------------------------------------------------
+
+    def charge_meta_read(self) -> None:
+        self._io.add("meta_read_ops")
+
+    def charge_meta_write(self) -> None:
+        self._io.add("meta_write_ops")
+
+    # -- record store (used by the HAC MetaStore) -------------------------------
+
+    def write_record(self, key: str, data: bytes) -> None:
+        old = len(self._records.get(key, b""))
+        growth = self._blocks_for(self._meta_bytes - old + len(data)) \
+            - self._blocks_for(self._meta_bytes)
+        if growth > 0:
+            self._check_capacity(growth, key)
+        self._meta_bytes += len(data) - old
+        self._records[key] = data
+        self.charge_meta_write()
+        self.charge_write(len(data))
+
+    def read_record(self, key: str) -> Optional[bytes]:
+        data = self._records.get(key)
+        self.charge_meta_read()
+        if data is not None:
+            self.charge_read(len(data))
+        return data
+
+    def delete_record(self, key: str) -> bool:
+        data = self._records.pop(key, None)
+        self.charge_meta_write()
+        if data is None:
+            return False
+        self._meta_bytes -= len(data)
+        return True
+
+    def record_keys(self):
+        return list(self._records)
+
+    @property
+    def record_bytes(self) -> int:
+        """Total bytes held by the record store (HAC metadata footprint)."""
+        return self._meta_bytes

@@ -1,0 +1,84 @@
+"""Per-process file descriptor tables.
+
+The paper notes that HAC keeps an open file-descriptor table and attribute
+cache per process (charged to the Copy and Read phases of the Andrew
+benchmark).  Here a :class:`FDTable` stands for one process's table; the
+shell owns one, benchmarks create their own.
+
+Descriptors are small integers reused lowest-first, as on UNIX.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.errors import BadFileDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.vfs.filesystem import FileSystem
+    from repro.vfs.inode import FileNode
+
+
+class OpenFile:
+    """State of one open regular file: node, mode bits, and offset."""
+
+    __slots__ = ("fs", "node", "readable", "writable", "offset")
+
+    def __init__(self, fs: "FileSystem", node: "FileNode",
+                 readable: bool, writable: bool, offset: int = 0):
+        self.fs = fs
+        self.node = node
+        self.readable = readable
+        self.writable = writable
+        self.offset = offset
+
+    def __repr__(self):
+        mode = ("r" if self.readable else "") + ("w" if self.writable else "")
+        return f"OpenFile(ino={self.node.ino}, mode={mode!r}, offset={self.offset})"
+
+
+class FDTable:
+    """Maps small-integer descriptors to :class:`OpenFile` records."""
+
+    def __init__(self):
+        self._open: Dict[int, OpenFile] = {}
+        self._free: List[int] = []
+        self._next = 3  # 0/1/2 reserved, as a nod to stdio
+
+    def install(self, open_file: OpenFile) -> int:
+        if self._free:
+            fd = heapq.heappop(self._free)
+        else:
+            fd = self._next
+            self._next += 1
+        self._open[fd] = open_file
+        return fd
+
+    def get(self, fd: int) -> OpenFile:
+        try:
+            return self._open[fd]
+        except KeyError:
+            raise BadFileDescriptor(str(fd)) from None
+
+    def remove(self, fd: int) -> OpenFile:
+        try:
+            open_file = self._open.pop(fd)
+        except KeyError:
+            raise BadFileDescriptor(str(fd)) from None
+        heapq.heappush(self._free, fd)
+        return open_file
+
+    def close_all(self) -> None:
+        for fd in list(self._open):
+            self.remove(fd)
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._open
+
+    def approximate_bytes(self) -> int:
+        """Rough footprint of the table, for the space-overhead bench."""
+        return 64 * len(self._open) + 16

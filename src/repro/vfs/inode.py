@@ -1,0 +1,181 @@
+"""Inode types for the VFS.
+
+Three node kinds exist, as in the paper's substrate: regular files,
+directories, and symbolic links.  Every node carries POSIX-ish attributes
+and a parent pointer + name, so the absolute path of any live inode can be
+reconstructed (the HAC layer leans on this to keep link targets resolvable
+across renames).
+
+Directories own a name → child mapping; ``.`` and ``..`` are not stored as
+entries — path resolution handles them via the parent pointers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, Optional
+
+
+class InodeType(enum.Enum):
+    FILE = "file"
+    DIRECTORY = "directory"
+    SYMLINK = "symlink"
+
+
+class Attributes:
+    """Mutable stat-like attribute block.
+
+    ``size`` for directories counts entries; for symlinks, the target length.
+    """
+
+    __slots__ = ("mode", "size", "ctime", "mtime", "atime", "nlink")
+
+    def __init__(self, mode: int, size: int = 0, ctime: float = 0.0,
+                 mtime: float = 0.0, atime: float = 0.0, nlink: int = 1):
+        self.mode = mode
+        self.size = size
+        self.ctime = ctime
+        self.mtime = mtime
+        self.atime = atime
+        self.nlink = nlink
+
+    def copy(self) -> "Attributes":
+        return Attributes(self.mode, self.size, self.ctime,
+                          self.mtime, self.atime, self.nlink)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mode": self.mode,
+            "size": self.size,
+            "ctime": self.ctime,
+            "mtime": self.mtime,
+            "atime": self.atime,
+            "nlink": self.nlink,
+        }
+
+    def __repr__(self):
+        return (f"Attributes(mode={oct(self.mode)}, size={self.size}, "
+                f"mtime={self.mtime})")
+
+
+class Inode:
+    """Base class for all node kinds."""
+
+    type: InodeType
+
+    __slots__ = ("ino", "attrs", "parent", "name")
+
+    def __init__(self, ino: int, mode: int, now: float):
+        self.ino = ino
+        self.attrs = Attributes(mode=mode, ctime=now, mtime=now, atime=now)
+        #: the containing directory (None only for a file system root or a
+        #: node that has been unlinked but is still open).
+        self.parent: Optional["DirNode"] = None
+        #: the name this node has inside ``parent``.
+        self.name: str = ""
+
+    @property
+    def is_dir(self) -> bool:
+        return self.type is InodeType.DIRECTORY
+
+    @property
+    def is_file(self) -> bool:
+        return self.type is InodeType.FILE
+
+    @property
+    def is_symlink(self) -> bool:
+        return self.type is InodeType.SYMLINK
+
+    def __repr__(self):
+        return f"{type(self).__name__}(ino={self.ino}, name={self.name!r})"
+
+
+class FileNode(Inode):
+    """Regular file holding its bytes in memory."""
+
+    type = InodeType.FILE
+
+    __slots__ = ("data",)
+
+    def __init__(self, ino: int, mode: int, now: float):
+        super().__init__(ino, mode, now)
+        self.data = bytearray()
+
+    def resize(self, new_size: int) -> None:
+        if new_size < len(self.data):
+            del self.data[new_size:]
+        else:
+            self.data.extend(b"\x00" * (new_size - len(self.data)))
+        self.attrs.size = len(self.data)
+
+
+class DirNode(Inode):
+    """Directory mapping entry names to child inodes."""
+
+    type = InodeType.DIRECTORY
+
+    __slots__ = ("entries",)
+
+    def __init__(self, ino: int, mode: int, now: float):
+        super().__init__(ino, mode, now)
+        self.entries: Dict[str, Inode] = {}
+        self.attrs.nlink = 2  # "." and the parent's entry
+
+    def lookup(self, name: str) -> Optional[Inode]:
+        return self.entries.get(name)
+
+    def attach(self, name: str, node: Inode) -> None:
+        """Insert *node* under *name*, wiring its parent pointer."""
+        self.entries[name] = node
+        node.parent = self
+        node.name = name
+        self.attrs.size = len(self.entries)
+        if node.is_dir:
+            self.attrs.nlink += 1
+
+    def detach(self, name: str) -> Inode:
+        """Remove the entry *name*; the node keeps running if it is open."""
+        node = self.entries.pop(name)
+        node.parent = None
+        node.name = ""
+        self.attrs.size = len(self.entries)
+        if node.is_dir:
+            self.attrs.nlink -= 1
+        return node
+
+    def names(self) -> Iterator[str]:
+        return iter(sorted(self.entries))
+
+    def is_empty(self) -> bool:
+        return not self.entries
+
+
+class SymlinkNode(Inode):
+    """Symbolic link storing a target path string (may dangle)."""
+
+    type = InodeType.SYMLINK
+
+    __slots__ = ("target",)
+
+    def __init__(self, ino: int, mode: int, now: float, target: str):
+        super().__init__(ino, mode, now)
+        self.target = target
+        self.attrs.size = len(target)
+
+
+def path_of(node: Inode) -> str:
+    """Reconstruct the absolute path of a live node inside its file system.
+
+    Raises :class:`ValueError` for a node detached from the tree (unlinked
+    but still open), since it no longer *has* a path.  A file-system root is
+    recognised by its ``"/"`` name (set by :class:`FileSystem`); a detached
+    node has no parent *and* an empty name.
+    """
+    parts = []
+    cur: Optional[Inode] = node
+    while cur is not None and cur.parent is not None:
+        parts.append(cur.name)
+        cur = cur.parent
+    if cur is None or cur.name != "/":
+        raise ValueError(f"node {node!r} is detached from the tree")
+    return "/" + "/".join(reversed(parts))

@@ -1,0 +1,105 @@
+"""Recursive traversal helpers over a :class:`~repro.vfs.filesystem.FileSystem`.
+
+``walk`` mirrors :func:`os.walk`; ``iter_files`` yields every regular file
+with its absolute path, optionally descending into syntactic mounts (the HAC
+indexer uses this to enumerate its whole personal name space).  Symbolic
+links are reported but never followed during traversal, so link cycles
+cannot hang a walk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.util import pathutil
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.inode import DirNode, FileNode, Inode, SymlinkNode
+
+
+def walk(fs: FileSystem, top: str = "/",
+         cross_mounts: bool = True) -> Iterator[Tuple[str, List[str], List[str]]]:
+    """Yield ``(dirpath, dirnames, filenames)`` top-down.
+
+    ``dirnames`` may be pruned in place by the caller, as with ``os.walk``.
+    Symlinks appear in ``filenames`` regardless of what they point at.
+    """
+    res = fs.resolve(top)
+    if not res.node.is_dir:
+        raise ValueError(f"walk() needs a directory, got {top}")
+    stack: List[Tuple[str, FileSystem, DirNode]] = [
+        (pathutil.normalize(top), res.fs, res.node)  # type: ignore[list-item]
+    ]
+    while stack:
+        dirpath, cur_fs, dirnode = stack.pop()
+        dirnames: List[str] = []
+        filenames: List[str] = []
+        children = {}
+        for name in sorted(dirnode.entries):
+            child = dirnode.entries[name]
+            target_fs = cur_fs
+            if child.is_dir and child.ino in cur_fs._mounts:
+                if not cross_mounts:
+                    continue
+                target_fs = cur_fs._mounts[child.ino]
+                child = target_fs.root
+            if child.is_dir:
+                dirnames.append(name)
+                children[name] = (target_fs, child)
+            else:
+                filenames.append(name)
+        yield dirpath, dirnames, filenames
+        # honour caller-side pruning of dirnames
+        for name in reversed(dirnames):
+            if name in children:
+                sub_fs, sub_node = children[name]
+                stack.append((pathutil.join(dirpath, name), sub_fs, sub_node))
+
+
+def iter_files(fs: FileSystem, top: str = "/",
+               cross_mounts: bool = True) -> Iterator[Tuple[str, FileNode]]:
+    """Yield ``(path, FileNode)`` for every regular file under *top*."""
+    for dirpath, _dirnames, filenames in walk(fs, top, cross_mounts=cross_mounts):
+        for name in filenames:
+            path = pathutil.join(dirpath, name)
+            res = fs.resolve(path, follow=False)
+            if isinstance(res.node, FileNode):
+                yield path, res.node
+
+
+def iter_symlinks(fs: FileSystem, top: str = "/",
+                  cross_mounts: bool = True) -> Iterator[Tuple[str, SymlinkNode]]:
+    """Yield ``(path, SymlinkNode)`` for every symlink under *top*."""
+    for dirpath, _dirnames, filenames in walk(fs, top, cross_mounts=cross_mounts):
+        for name in filenames:
+            path = pathutil.join(dirpath, name)
+            res = fs.resolve(path, follow=False)
+            if isinstance(res.node, SymlinkNode):
+                yield path, res.node
+
+
+def find(fs: FileSystem, top: str = "/",
+         predicate: Optional[Callable[[str, Inode], bool]] = None,
+         cross_mounts: bool = True) -> List[str]:
+    """Paths of every node under *top* matching *predicate* (default: all)."""
+    out: List[str] = []
+    for dirpath, dirnames, filenames in walk(fs, top, cross_mounts=cross_mounts):
+        for name in list(dirnames) + list(filenames):
+            path = pathutil.join(dirpath, name)
+            node = fs.resolve(path, follow=False).node
+            if predicate is None or predicate(path, node):
+                out.append(path)
+    return sorted(out)
+
+
+def tree_size(fs: FileSystem, top: str = "/") -> Tuple[int, int, int]:
+    """Return ``(directories, files, symlinks)`` counts under *top*."""
+    dirs = files = links = 0
+    for _dirpath, dirnames, filenames in walk(fs, top):
+        dirs += len(dirnames)
+        for name in filenames:
+            node = fs.resolve(pathutil.join(_dirpath, name), follow=False).node
+            if node.is_symlink:
+                links += 1
+            else:
+                files += 1
+    return dirs, files, links

@@ -1,0 +1,87 @@
+"""Random directory trees and operation sequences for property testing.
+
+``build_random_tree`` materialises a seeded random hierarchy (directories,
+files, symlinks) on any file-system layer; ``random_ops`` produces a stream
+of feasible mutating operations against a live tree, used by the hypothesis
+tests that hammer the scope-consistency invariant.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+WORDS = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+         "fingerprint", "glimpse", "kernel", "socket", "parser")
+
+
+def build_random_tree(fs, seed: int = 0, n_dirs: int = 6, n_files: int = 12,
+                      n_links: int = 3, root: str = "/t") -> Tuple[List[str], List[str]]:
+    """Create a random tree; returns ``(dir paths, file paths)``."""
+    rng = random.Random(seed)
+    fs.makedirs(root)
+    dirs = [root]
+    for i in range(n_dirs):
+        parent = rng.choice(dirs)
+        path = f"{parent}/d{i}"
+        fs.mkdir(path)
+        dirs.append(path)
+    files = []
+    for i in range(n_files):
+        parent = rng.choice(dirs)
+        path = f"{parent}/f{i}.txt"
+        words = rng.choices(WORDS, k=rng.randint(5, 30))
+        fs.write_file(path, (" ".join(words) + "\n").encode("utf-8"))
+        files.append(path)
+    for i in range(min(n_links, len(files))):
+        parent = rng.choice(dirs)
+        target = rng.choice(files)
+        link = f"{parent}/l{i}"
+        if not fs.exists(link, follow=False):
+            fs.symlink(target, link)
+    return dirs, files
+
+
+def random_ops(fs, rng: random.Random, dirs: List[str], files: List[str],
+               count: int = 10) -> List[str]:
+    """Apply *count* random feasible mutations; returns a log of what ran."""
+    log: List[str] = []
+    for step in range(count):
+        choice = rng.randrange(5)
+        if choice == 0 and dirs:
+            parent = rng.choice(dirs)
+            path = f"{parent}/nd{step}"
+            if not fs.exists(path):
+                fs.mkdir(path)
+                dirs.append(path)
+                log.append(f"mkdir {path}")
+        elif choice == 1 and dirs:
+            parent = rng.choice(dirs)
+            path = f"{parent}/nf{step}.txt"
+            words = rng.choices(WORDS, k=rng.randint(3, 20))
+            fs.write_file(path, (" ".join(words) + "\n").encode("utf-8"))
+            if path not in files:
+                files.append(path)
+            log.append(f"write {path}")
+        elif choice == 2 and files:
+            victim = rng.choice(files)
+            if fs.exists(victim, follow=False):
+                fs.unlink(victim)
+                files.remove(victim)
+                log.append(f"unlink {victim}")
+        elif choice == 3 and files and dirs:
+            src = rng.choice(files)
+            dst_dir = rng.choice(dirs)
+            dst = f"{dst_dir}/mv{step}.txt"
+            if fs.exists(src, follow=False) and not fs.exists(dst, follow=False):
+                fs.rename(src, dst)
+                files.remove(src)
+                files.append(dst)
+                log.append(f"rename {src} {dst}")
+        elif choice == 4 and files:
+            victim = rng.choice(files)
+            if fs.exists(victim, follow=False):
+                extra = " ".join(rng.choices(WORDS, k=5))
+                fs.write_file(victim, (extra + "\n").encode("utf-8"), append=True)
+                log.append(f"append {victim}")
+    return log

@@ -1,0 +1,111 @@
+"""Unit tests for the per-document scanner (agrep)."""
+
+import pytest
+
+from repro.cba.queryast import And, Approx, DirRef, MatchAll, Not, Or, Phrase, Term
+from repro.cba.agrep import matches, matching_lines, within_distance
+
+DOC = """subject: fingerprint sensors
+the new fingerprint sensor works well
+image processing is unrelated here
+goodbye
+"""
+
+
+class TestWithinDistance:
+    def test_equal(self):
+        assert within_distance("abc", "abc", 1)
+
+    def test_substitution(self):
+        assert within_distance("abc", "abd", 1)
+        assert not within_distance("abc", "abd", 0)
+
+    def test_insert_delete(self):
+        assert within_distance("abc", "abxc", 1)
+        assert within_distance("abc", "ab", 1)
+
+    def test_transposition_costs_two(self):
+        assert not within_distance("finger", "fingre", 1)
+        assert within_distance("finger", "fingre", 2)
+
+    def test_length_gap_pruning(self):
+        assert not within_distance("a", "abcdef", 2)
+
+    def test_empty_strings(self):
+        assert within_distance("", "", 1)
+        assert within_distance("", "a", 1)
+        assert not within_distance("", "ab", 1)
+
+    @pytest.mark.parametrize("a,b,k", [
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("glimpse", "glimse", 1),
+    ])
+    def test_known_distances(self, a, b, k):
+        assert within_distance(a, b, k)
+        assert not within_distance(a, b, k - 1)
+
+
+class TestMatches:
+    def test_term(self):
+        assert matches(DOC, Term("fingerprint"))
+        assert not matches(DOC, Term("murder"))
+
+    def test_term_word_boundary(self):
+        # "finger" is not a token of DOC even though it is a substring
+        assert not matches(DOC, Term("finger"))
+
+    def test_phrase(self):
+        assert matches(DOC, Phrase(["image", "processing"]))
+        assert not matches(DOC, Phrase(["processing", "image"]))
+        assert not matches(DOC, Phrase(["fingerprint", "processing"]))
+
+    def test_phrase_across_lines(self):
+        # tokens are a flat stream, so line breaks behave like spaces
+        assert matches("alpha\nbeta", Phrase(["alpha", "beta"]))
+
+    def test_approx(self):
+        assert matches(DOC, Approx("fingerprnt", 1))
+        assert not matches(DOC, Approx("murder", 2))
+
+    def test_booleans(self):
+        assert matches(DOC, And([Term("fingerprint"), Term("image")]))
+        assert not matches(DOC, And([Term("fingerprint"), Term("murder")]))
+        assert matches(DOC, Or([Term("murder"), Term("goodbye")]))
+        assert matches(DOC, Not(Term("murder")))
+        assert not matches(DOC, Not(Term("fingerprint")))
+
+    def test_matchall(self):
+        assert matches("", MatchAll())
+
+    def test_dirref_rejected(self):
+        with pytest.raises(TypeError):
+            matches(DOC, DirRef(1))
+        with pytest.raises(TypeError):
+            # the first conjunct matches, so evaluation reaches the DirRef
+            matches(DOC, And([Term("fingerprint"), DirRef(1)]))
+
+
+class TestMatchingLines:
+    def test_positive_leaf_lines(self):
+        lines = matching_lines(DOC, Term("fingerprint"))
+        assert lines == ["subject: fingerprint sensors",
+                         "the new fingerprint sensor works well"]
+
+    def test_or_collects_both(self):
+        lines = matching_lines(DOC, Or([Term("goodbye"), Term("image")]))
+        assert lines == ["image processing is unrelated here", "goodbye"]
+
+    def test_negative_only_query_returns_all(self):
+        lines = matching_lines("a\nb", Not(Term("x")))
+        assert lines == ["a", "b"]
+
+    def test_phrase_lines(self):
+        lines = matching_lines(DOC, Phrase(["image", "processing"]))
+        assert lines == ["image processing is unrelated here"]
+
+    def test_leaves_under_not_excluded(self):
+        # NOT murder contributes no positive leaf; fingerprint does
+        lines = matching_lines(DOC, And([Term("fingerprint"),
+                                         Not(Term("image"))]))
+        assert "image processing is unrelated here" not in lines

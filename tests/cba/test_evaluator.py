@@ -1,0 +1,97 @@
+"""Unit tests for full-query evaluation (content + directory references)."""
+
+import pytest
+
+from repro.cba.engine import CBAEngine
+from repro.cba.evaluator import evaluate, is_content_only
+from repro.cba.queryast import And, DirRef, MatchAll, Not, Or, Term
+from repro.util.bitmap import Bitmap
+
+CORPUS = {
+    1: "alpha beta",
+    2: "alpha gamma",
+    3: "beta gamma",
+    4: "delta",
+}
+
+
+@pytest.fixture
+def engine():
+    eng = CBAEngine(loader=lambda k: CORPUS.get(k, ""))
+    for key in sorted(CORPUS):
+        eng.index_document(key, path=f"/{key}", mtime=0.0)
+    return eng
+
+
+def ids(engine, *keys):
+    return Bitmap([engine.doc_id_of(k) for k in keys])
+
+
+class TestContentOnly:
+    def test_detection(self):
+        assert is_content_only(And([Term("a"), Not(Term("b"))]))
+        assert not is_content_only(And([Term("a"), DirRef(1)]))
+        assert not is_content_only(Not(DirRef(2)))
+
+    def test_plain_evaluation(self, engine):
+        got = evaluate(Term("alpha"), engine, resolve_dirref=lambda uid: Bitmap())
+        assert got == ids(engine, 1, 2)
+
+    def test_scope_respected(self, engine):
+        scope = ids(engine, 2, 3, 4)
+        got = evaluate(Term("alpha"), engine, lambda uid: Bitmap(), scope)
+        assert got == ids(engine, 2)
+
+
+class TestDirRefs:
+    def test_bare_ref_intersects_scope(self, engine):
+        table = {7: ids(engine, 1, 2, 4)}
+        got = evaluate(DirRef(7), engine, table.__getitem__,
+                       scope=ids(engine, 2, 3, 4))
+        assert got == ids(engine, 2, 4)
+
+    def test_and_with_ref_narrows_first(self, engine):
+        table = {7: ids(engine, 1, 2)}
+        got = evaluate(And([Term("alpha"), DirRef(7)]), engine,
+                       table.__getitem__)
+        assert got == ids(engine, 1, 2)
+        table = {7: ids(engine, 3, 4)}
+        got = evaluate(And([Term("alpha"), DirRef(7)]), engine,
+                       table.__getitem__)
+        assert not got
+
+    def test_or_with_ref_unions(self, engine):
+        table = {7: ids(engine, 4)}
+        got = evaluate(Or([Term("alpha"), DirRef(7)]), engine,
+                       table.__getitem__)
+        assert got == ids(engine, 1, 2, 4)
+
+    def test_not_ref_is_scope_minus_ref(self, engine):
+        table = {7: ids(engine, 1, 2)}
+        got = evaluate(Not(DirRef(7)), engine, table.__getitem__)
+        assert got == ids(engine, 3, 4)
+
+    def test_nested_structure(self, engine):
+        table = {1: ids(engine, 1, 2, 3), 2: ids(engine, 3, 4)}
+        query = And([Or([DirRef(2), Term("alpha")]), Not(Term("gamma"))])
+        got = evaluate(query, engine, table.__getitem__)
+        # Or: {3,4} | {1,2} = all; Not gamma removes 2,3 -> {1,4}
+        assert got == ids(engine, 1, 4)
+
+    def test_dangling_ref_is_empty(self, engine):
+        got = evaluate(DirRef(99), engine, lambda uid: Bitmap())
+        assert not got
+
+    def test_matchall_returns_scope(self, engine):
+        scope = ids(engine, 2, 4)
+        got = evaluate(MatchAll(), engine, lambda uid: Bitmap(), scope)
+        assert got == scope
+
+    def test_result_always_subset_of_scope(self, engine):
+        scope = ids(engine, 1, 3)
+        table = {5: ids(engine, 1, 2, 3, 4)}
+        for query in (Term("alpha"), DirRef(5), Not(Term("alpha")),
+                      Or([DirRef(5), Term("delta")]),
+                      And([DirRef(5), Not(DirRef(5))])):
+            got = evaluate(query, engine, table.__getitem__, scope)
+            assert got.issubset(scope), query

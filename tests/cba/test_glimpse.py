@@ -1,0 +1,161 @@
+"""Unit tests for the block-level index and the lexicon."""
+
+import pytest
+
+from repro.cba.glimpse import GlimpseIndex
+from repro.cba.lexicon import Lexicon
+from repro.cba.queryast import And, Approx, DirRef, MatchAll, Not, Or, Phrase, Term
+
+
+class TestLexicon:
+    def test_intern_stable(self):
+        lex = Lexicon()
+        assert lex.intern("a") == lex.intern("a")
+        assert lex.intern("a") != lex.intern("b")
+
+    def test_occurrence_counting(self):
+        lex = Lexicon()
+        lex.add_occurrence("w")
+        lex.add_occurrence("w")
+        assert lex.df("w") == 2
+        lex.drop_occurrence("w")
+        assert lex.df("w") == 1
+        lex.drop_occurrence("w")
+        assert "w" not in lex
+        assert lex.df("w") == 0
+
+    def test_id_recycled_after_retirement(self):
+        lex = Lexicon()
+        tid = lex.add_occurrence("gone")
+        lex.drop_occurrence("gone")
+        assert lex.add_occurrence("fresh") == tid
+
+    def test_lookup_never_allocates(self):
+        lex = Lexicon()
+        assert lex.lookup("nope") is None
+        assert len(lex) == 0
+
+    def test_drop_unknown_is_none(self):
+        assert Lexicon().drop_occurrence("ghost") is None
+
+    def test_terms_listing(self):
+        lex = Lexicon()
+        lex.add_occurrence("a")
+        lex.add_occurrence("a")
+        lex.add_occurrence("b")
+        assert dict(lex.terms()) == {"a": 2, "b": 1}
+
+
+@pytest.fixture
+def index():
+    idx = GlimpseIndex(num_blocks=4)
+    docs = {
+        0: {"fingerprint", "sensor"},
+        1: {"image", "processing"},
+        2: {"fingerprint", "image"},
+        3: {"recipe", "banana"},
+        4: {"fingerprint", "database"},   # same block as doc 0 (4 % 4 == 0)
+    }
+    for doc_id, terms in docs.items():
+        idx.add(doc_id, terms)
+    return idx
+
+
+class TestMaintenance:
+    def test_len_and_contains(self, index):
+        assert len(index) == 5
+        assert 0 in index and 99 not in index
+
+    def test_duplicate_add_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add(0, {"x"})
+
+    def test_remove_unknown_rejected(self, index):
+        with pytest.raises(KeyError):
+            index.remove(99)
+
+    def test_remove_keeps_sibling_postings(self, index):
+        # docs 0 and 4 share block 0 and the term "fingerprint"
+        index.remove(0)
+        blocks = index.candidate_blocks(Term("fingerprint"))
+        assert 0 in blocks  # doc 4 still holds the term in block 0
+
+    def test_remove_prunes_empty_postings(self, index):
+        index.remove(3)
+        assert not index.candidate_blocks(Term("banana"))
+
+    def test_update_changes_terms(self, index):
+        index.update(3, {"fingerprint"})
+        assert 3 in index.docs_in_blocks(
+            index.candidate_blocks(Term("fingerprint")))
+        assert not index.candidate_blocks(Term("banana"))
+
+    def test_block_sizes(self, index):
+        sizes = index.block_sizes()
+        assert sizes[0] == 2       # docs 0 and 4
+        assert sum(sizes.values()) == 5
+
+
+class TestCandidates:
+    def test_term_blocks(self, index):
+        blocks = index.candidate_blocks(Term("fingerprint"))
+        assert sorted(blocks) == [0, 2]   # docs 0,4 in block 0; doc 2 in block 2
+
+    def test_unknown_term_empty(self, index):
+        assert not index.candidate_blocks(Term("zzz"))
+
+    def test_and_intersects(self, index):
+        blocks = index.candidate_blocks(And([Term("fingerprint"), Term("image")]))
+        assert sorted(blocks) == [2]
+
+    def test_or_unions(self, index):
+        blocks = index.candidate_blocks(Or([Term("banana"), Term("sensor")]))
+        assert sorted(blocks) == [0, 3]
+
+    def test_not_cannot_prune(self, index):
+        blocks = index.candidate_blocks(Not(Term("fingerprint")))
+        assert sorted(blocks) == sorted(index.block_sizes())
+
+    def test_approx_cannot_prune(self, index):
+        blocks = index.candidate_blocks(Approx("fingerprnt", 1))
+        assert sorted(blocks) == sorted(index.block_sizes())
+
+    def test_phrase_intersects_words(self, index):
+        blocks = index.candidate_blocks(Phrase(["image", "processing"]))
+        assert sorted(blocks) == [1]
+        assert not index.candidate_blocks(Phrase(["image", "zzz"]))
+
+    def test_matchall(self, index):
+        assert sorted(index.candidate_blocks(MatchAll())) == \
+            sorted(index.block_sizes())
+
+    def test_dirref_rejected(self, index):
+        with pytest.raises(TypeError):
+            index.candidate_blocks(DirRef(1))
+
+    def test_candidates_never_miss(self, index):
+        # soundness: every doc containing the term is in a candidate block
+        for term, holders in [("fingerprint", {0, 2, 4}), ("image", {1, 2})]:
+            docs = set(index.docs_in_blocks(index.candidate_blocks(Term(term))))
+            assert holders <= docs
+
+
+class TestReporting:
+    def test_docs_in_blocks(self, index):
+        from repro.util.bitmap import Bitmap
+        docs = index.docs_in_blocks(Bitmap([0]))
+        assert sorted(docs) == [0, 4]
+
+    def test_all_docs(self, index):
+        assert sorted(index.all_docs()) == [0, 1, 2, 3, 4]
+
+    def test_index_size_positive_and_shrinks(self, index):
+        size = index.index_size_bytes()
+        assert size > 0
+        for doc in list(range(5)):
+            index.remove(doc)
+        assert index.index_size_bytes() < size
+
+    def test_num_blocks_validation(self):
+        with pytest.raises(ValueError):
+            GlimpseIndex(num_blocks=0)

@@ -1,0 +1,52 @@
+"""Unit tests for reindex planning."""
+
+import pytest
+
+from repro.cba.incremental import merge_plans, plan_reindex
+
+
+class TestPlan:
+    def test_noop(self):
+        plan = plan_reindex({"a": 1.0}, {"a": 1.0})
+        assert plan.is_noop
+        assert plan.unchanged == 1
+        assert plan.touched == 0
+
+    def test_added(self):
+        plan = plan_reindex({}, {"a": 1.0})
+        assert plan.added == ["a"] and not plan.removed and not plan.changed
+
+    def test_removed(self):
+        plan = plan_reindex({"a": 1.0}, {})
+        assert plan.removed == ["a"]
+
+    def test_changed_on_mtime_difference(self):
+        plan = plan_reindex({"a": 1.0}, {"a": 2.0})
+        assert plan.changed == ["a"]
+
+    def test_mixed(self):
+        plan = plan_reindex({"a": 1.0, "b": 1.0, "c": 1.0},
+                            {"b": 2.0, "c": 1.0, "d": 1.0})
+        assert plan.added == ["d"]
+        assert plan.removed == ["a"]
+        assert plan.changed == ["b"]
+        assert plan.unchanged == 1
+        assert plan.touched == 3
+
+    def test_repr(self):
+        plan = plan_reindex({"a": 1.0}, {"a": 2.0, "b": 1.0})
+        assert repr(plan) == "ReindexPlan(+1 -0 ~1 =0)"
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        p1 = plan_reindex({"a": 1.0}, {"a": 2.0})
+        p2 = plan_reindex({}, {"b": 1.0})
+        merged = merge_plans(p1, p2)
+        assert merged.changed == ["a"] and merged.added == ["b"]
+
+    def test_merge_overlap_rejected(self):
+        p1 = plan_reindex({}, {"a": 1.0})
+        p2 = plan_reindex({"a": 1.0}, {})
+        with pytest.raises(ValueError):
+            merge_plans(p1, p2)

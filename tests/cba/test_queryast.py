@@ -1,0 +1,138 @@
+"""Unit tests for query AST nodes."""
+
+import pytest
+
+from repro.cba.queryast import (
+    And,
+    Approx,
+    DirRef,
+    MatchAll,
+    Not,
+    Or,
+    Phrase,
+    Term,
+    conjoin,
+    content_projection,
+    from_obj,
+    rewrite_dir_refs,
+)
+
+
+class TestNodes:
+    def test_term_lowercases(self):
+        assert Term("FooBar").word == "foobar"
+
+    def test_immutability(self):
+        t = Term("x")
+        with pytest.raises(AttributeError):
+            t.word = "y"
+        with pytest.raises(AttributeError):
+            And([t, Term("y")]).children = ()
+
+    def test_equality_and_hash(self):
+        assert Term("a") == Term("A")
+        assert hash(Term("a")) == hash(Term("A"))
+        assert Term("a") != Term("b")
+        assert And([Term("a"), Term("b")]) == And([Term("a"), Term("b")])
+        assert Not(Term("a")) != Term("a")
+
+    def test_compound_needs_two(self):
+        with pytest.raises(ValueError):
+            And([Term("a")])
+        with pytest.raises(ValueError):
+            Or([])
+
+    def test_compound_flattens_same_type(self):
+        node = And([And([Term("a"), Term("b")]), Term("c")])
+        assert len(node.children) == 3
+        # different compound types do not flatten into each other
+        node2 = Or([And([Term("a"), Term("b")]), Term("c")])
+        assert len(node2.children) == 2
+
+    def test_phrase_validation(self):
+        with pytest.raises(ValueError):
+            Phrase([])
+        assert Phrase(["A", "b"]).words == ("a", "b")
+
+    def test_approx_validation(self):
+        with pytest.raises(ValueError):
+            Approx("x", 0)
+        assert Approx("X", 2).k == 2
+
+    def test_terms_iteration(self):
+        node = And([Term("a"), Or([Phrase(["b", "c"]), Not(Term("d"))])])
+        assert sorted(node.terms()) == ["a", "b", "c", "d"]
+
+    def test_approx_exposes_no_index_terms(self):
+        assert list(Approx("word", 1).terms()) == []
+
+    def test_dir_refs_iteration(self):
+        node = And([DirRef(3), Not(DirRef(7)), Term("x")])
+        assert sorted(node.dir_refs()) == [3, 7]
+
+
+class TestText:
+    def test_to_text(self):
+        node = And([Term("a"), Or([Term("b"), Term("c")]), Not(Term("d"))])
+        assert node.to_text() == "a AND (b OR c) AND NOT d"
+
+    def test_phrase_and_approx_text(self):
+        assert Phrase(["x", "y"]).to_text() == '"x y"'
+        assert Approx("x", 2).to_text() == "x~2"
+        assert MatchAll().to_text() == "*"
+
+    def test_dirref_text_through_map(self):
+        node = DirRef(5)
+        assert node.to_text(lambda uid: "/some/dir") == "/some/dir"
+        assert node.to_text() == "<dir:5>"
+        assert node.to_text(lambda uid: None) == "<dir:5>"
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("node", [
+        MatchAll(),
+        Term("x"),
+        Approx("y", 2),
+        Phrase(["a", "b"]),
+        DirRef(9),
+        And([Term("a"), Not(Term("b"))]),
+        Or([Phrase(["p", "q"]), And([DirRef(1), Term("z")])]),
+    ])
+    def test_roundtrip(self, node):
+        assert from_obj(node.to_obj()) == node
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            from_obj({"op": "wat"})
+
+
+class TestHelpers:
+    def test_conjoin(self):
+        a, b = Term("a"), Term("b")
+        assert conjoin(a, b) == And([a, b])
+        assert conjoin(None, b) == b
+        assert conjoin(a, None) == a
+        assert conjoin(None, None) == MatchAll()
+        assert conjoin(MatchAll(), b) == b
+
+    def test_rewrite_dir_refs(self):
+        node = And([DirRef(1), Or([DirRef(2), Term("x")]), Not(DirRef(1))])
+        out = rewrite_dir_refs(node, {1: 10, 2: 20})
+        assert sorted(out.dir_refs()) == [10, 10, 20]
+        # terms untouched
+        assert "x" in list(out.terms())
+
+    def test_content_projection_drops_refs(self):
+        node = And([Term("a"), DirRef(1)])
+        assert content_projection(node) == Term("a")
+
+    def test_content_projection_all_refs(self):
+        assert content_projection(And([DirRef(1), DirRef(2)])) == MatchAll()
+
+    def test_content_projection_or_with_ref(self):
+        # an OR branch that is a pure reference widens to MatchAll remotely
+        assert content_projection(Or([Term("a"), DirRef(1)])) == MatchAll()
+
+    def test_content_projection_not_ref(self):
+        assert content_projection(Not(DirRef(1))) == MatchAll()
+        assert content_projection(Not(Term("a"))) == Not(Term("a"))

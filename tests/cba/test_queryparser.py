@@ -1,0 +1,133 @@
+"""Unit tests for the query-language parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError, UnknownDirectoryReference
+from repro.cba.queryast import (
+    And,
+    Approx,
+    DirRef,
+    MatchAll,
+    Not,
+    Or,
+    Phrase,
+    Term,
+)
+from repro.cba.queryparser import parse_query
+
+DIRS = {"/a": 1, "/a/b": 2, "/x": 3}
+
+
+def resolve(path):
+    return DIRS.get(path)
+
+
+class TestBasics:
+    def test_single_term(self):
+        assert parse_query("fingerprint") == Term("fingerprint")
+
+    def test_empty_is_matchall(self):
+        assert parse_query("") == MatchAll()
+        assert parse_query("   ") == MatchAll()
+        assert parse_query("*") == MatchAll()
+
+    def test_keywords_case_insensitive(self):
+        assert parse_query("a AND b") == parse_query("a and b")
+        assert parse_query("NOT x") == parse_query("not x")
+
+    def test_juxtaposition_is_and(self):
+        assert parse_query("a b c") == And([Term("a"), Term("b"), Term("c")])
+        assert parse_query("a b") == parse_query("a AND b")
+
+    def test_phrase(self):
+        assert parse_query('"image processing"') == Phrase(["image", "processing"])
+
+    def test_single_word_phrase_is_term(self):
+        assert parse_query('"solo"') == Term("solo")
+
+    def test_approx(self):
+        assert parse_query("glimse~2") == Approx("glimse", 2)
+
+    def test_dir_reference(self):
+        assert parse_query("/a/b", resolve_dir=resolve) == DirRef(2)
+        assert parse_query("/a/b/", resolve_dir=resolve) == DirRef(2)
+
+
+class TestPrecedence:
+    def test_not_binds_tightest(self):
+        assert parse_query("NOT a AND b") == And([Not(Term("a")), Term("b")])
+        assert parse_query("NOT NOT a") == Not(Not(Term("a")))
+
+    def test_and_binds_tighter_than_or(self):
+        got = parse_query("a AND b OR c")
+        assert got == Or([And([Term("a"), Term("b")]), Term("c")])
+
+    def test_parens_override(self):
+        got = parse_query("a AND (b OR c)")
+        assert got == And([Term("a"), Or([Term("b"), Term("c")])])
+
+    def test_paper_example(self):
+        got = parse_query("fingerprint AND NOT murder")
+        assert got == And([Term("fingerprint"), Not(Term("murder"))])
+
+    def test_mixed_with_refs(self):
+        got = parse_query("fingerprint AND /a", resolve_dir=resolve)
+        assert got == And([Term("fingerprint"), DirRef(1)])
+
+
+class TestErrors:
+    def test_unbalanced_paren(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("(a OR b")
+
+    def test_stray_rparen(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("a)")
+
+    def test_dangling_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("a AND")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("OR a")
+
+    def test_empty_phrase(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('""')
+
+    def test_bad_character(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            parse_query("a & b")
+        assert exc.value.position == 2
+
+    def test_unknown_directory(self):
+        with pytest.raises(UnknownDirectoryReference):
+            parse_query("/nope", resolve_dir=resolve)
+
+    def test_refs_forbidden_without_resolver(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("/a")
+
+    def test_lone_not(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("NOT")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("text", [
+        "a",
+        "a AND b",
+        "a OR b OR c",
+        "NOT a",
+        'a AND "b c" AND NOT d',
+        "(a OR b) AND c",
+        "x~1 OR y",
+    ])
+    def test_to_text_reparses_same(self, text):
+        ast = parse_query(text)
+        assert parse_query(ast.to_text()) == ast
+
+    def test_ref_roundtrip_through_map(self):
+        ast = parse_query("x AND /a/b", resolve_dir=resolve)
+        rendered = ast.to_text(lambda uid: {v: k for k, v in DIRS.items()}[uid])
+        assert rendered == "x AND /a/b"
+        assert parse_query(rendered, resolve_dir=resolve) == ast

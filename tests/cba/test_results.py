@@ -1,0 +1,56 @@
+"""Unit tests for mixed local/remote result sets."""
+
+import pytest
+
+from repro.cba.results import RemoteId, ResultSet
+from repro.util.bitmap import Bitmap
+
+
+class TestRemoteId:
+    def test_uri_roundtrip(self):
+        rid = RemoteId("digilib", "paper1")
+        assert rid.uri() == "digilib://paper1"
+        assert RemoteId.from_uri("digilib://paper1") == rid
+
+    def test_from_uri_rejects_plain(self):
+        with pytest.raises(ValueError):
+            RemoteId.from_uri("/not/a/uri")
+
+
+class TestResultSet:
+    def test_empty(self):
+        rs = ResultSet.empty()
+        assert len(rs) == 0 and not rs
+
+    def test_len_and_contains(self):
+        rs = ResultSet(Bitmap([1, 2]), {RemoteId("n", "d")})
+        assert len(rs) == 3
+        assert 1 in rs and 3 not in rs
+        assert RemoteId("n", "d") in rs
+        assert RemoteId("n", "x") not in rs
+
+    def test_algebra(self):
+        a = ResultSet(Bitmap([1, 2]), {RemoteId("n", "x"), RemoteId("n", "y")})
+        b = ResultSet(Bitmap([2, 3]), {RemoteId("n", "y")})
+        assert (a | b) == ResultSet(Bitmap([1, 2, 3]),
+                                    {RemoteId("n", "x"), RemoteId("n", "y")})
+        assert (a & b) == ResultSet(Bitmap([2]), {RemoteId("n", "y")})
+        assert (a - b) == ResultSet(Bitmap([1]), {RemoteId("n", "x")})
+
+    def test_issubset(self):
+        small = ResultSet(Bitmap([1]), {RemoteId("n", "x")})
+        big = ResultSet(Bitmap([1, 2]), {RemoteId("n", "x"), RemoteId("n", "y")})
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_copy_independent(self):
+        rs = ResultSet(Bitmap([1]), {RemoteId("n", "x")})
+        dup = rs.copy()
+        dup.local.add(2)
+        dup.remote.clear()
+        assert 2 not in rs.local and rs.remote
+
+    def test_hash_consistent_with_eq(self):
+        a = ResultSet(Bitmap([1]), {RemoteId("n", "x")})
+        b = ResultSet(Bitmap([1]), {RemoteId("n", "x")})
+        assert a == b and hash(a) == hash(b)

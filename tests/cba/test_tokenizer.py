@@ -1,0 +1,65 @@
+"""Unit tests for word extraction."""
+
+import pytest
+
+from repro.cba.tokenizer import (
+    DEFAULT_STOPWORDS,
+    index_terms,
+    iter_tokens,
+    normalize_word,
+    tokenize,
+    tokenize_lines,
+)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_underscores_and_digits(self):
+        assert tokenize("fn_1 v2x") == ["fn_1", "v2x"]
+
+    def test_punctuation_splits(self):
+        assert tokenize("a-b.c/d") == ["a", "b", "c", "d"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!! ...") == []
+
+    def test_iter_matches_list(self):
+        text = "The quick brown fox"
+        assert list(iter_tokens(text)) == tokenize(text)
+
+
+class TestIndexTerms:
+    def test_drops_stopwords_and_short(self):
+        terms = index_terms("The fingerprint of a cat is x")
+        assert "fingerprint" in terms and "cat" in terms
+        assert "the" not in terms and "x" not in terms and "of" not in terms
+
+    def test_distinct(self):
+        assert index_terms("dog dog dog") == {"dog"}
+
+    def test_custom_stopwords(self):
+        terms = index_terms("alpha beta", stopwords={"alpha"})
+        assert terms == {"beta"}
+
+    def test_min_length(self):
+        assert index_terms("ab abc", min_length=3) == {"abc"}
+
+    def test_default_stopwords_are_lowercase(self):
+        assert all(w == w.lower() for w in DEFAULT_STOPWORDS)
+
+
+class TestHelpers:
+    def test_tokenize_lines(self):
+        assert tokenize_lines("a b\nc") == [["a", "b"], ["c"]]
+
+    def test_normalize_word(self):
+        assert normalize_word("Fingerprint") == "fingerprint"
+
+    def test_normalize_word_rejects_multiword(self):
+        with pytest.raises(ValueError):
+            normalize_word("two words")
+        with pytest.raises(ValueError):
+            normalize_word("")

@@ -1,0 +1,175 @@
+"""Semantic directory behaviour: the §2.3 link classification in action."""
+
+import pytest
+
+from repro.errors import FileNotFound, InvalidArgument, NotASemanticDirectory
+
+
+class TestSmkdir:
+    def test_creates_transient_links(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        links = populated.links("/fp")
+        assert set(links) == {"fp-design.txt", "msg1.txt", "match.c"}
+        assert all(cls == "transient" for cls, _t in links.values())
+
+    def test_links_are_real_symlinks(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        assert populated.islink("/fp/fp-design.txt")
+        assert populated.readlink("/fp/fp-design.txt") == "/notes/fp-design.txt"
+        assert populated.read_file("/fp/fp-design.txt").startswith(b"design notes")
+
+    def test_is_semantic_and_query(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        assert populated.is_semantic("/fp")
+        assert not populated.is_semantic("/notes")
+        assert populated.get_query("/fp") == "fingerprint"
+        assert populated.get_query("/notes") is None
+
+    def test_empty_result_query(self, populated):
+        populated.smkdir("/none", "zzzznothing")
+        assert populated.listdir("/none") == []
+
+    def test_boolean_query(self, populated):
+        populated.smkdir("/q", "fingerprint AND NOT minutiae")
+        assert set(populated.links("/q")) == {"msg1.txt"}
+
+    def test_name_collision_gets_suffix(self, populated):
+        populated.write_file("/other/msg1.txt".replace("/other", "/notes"),
+                             b"another fingerprint msg1")
+        populated.clock.tick()
+        populated.ssync("/")
+        populated.smkdir("/fp", "fingerprint")
+        names = set(populated.links("/fp"))
+        assert "msg1.txt" in names and "msg1.txt~2" in names
+
+
+class TestProhibition:
+    def test_rm_link_prohibits(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.unlink("/fp/msg1.txt")
+        assert "msg1.txt" not in populated.listdir("/fp")
+        assert populated.prohibited("/fp")
+
+    def test_prohibited_not_readded_on_sync(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.unlink("/fp/msg1.txt")
+        populated.ssync("/")
+        populated.ssync("/")
+        assert "msg1.txt" not in populated.listdir("/fp")
+
+    def test_prohibition_survives_query_change(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.unlink("/fp/msg1.txt")
+        populated.set_query("/fp", "fingerprint OR lunch")
+        assert "msg1.txt" not in populated.listdir("/fp")
+        assert "msg2.txt" in populated.listdir("/fp")
+
+    def test_manual_readd_lifts_prohibition(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.unlink("/fp/msg1.txt")
+        populated.symlink("/mail/msg1.txt", "/fp/msg1.txt")
+        assert not populated.prohibited("/fp")
+        assert populated.classify("/fp/msg1.txt") == "permanent"
+        populated.ssync("/")
+        assert "msg1.txt" in populated.listdir("/fp")
+
+    def test_unprohibit_api(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.unlink("/fp/msg1.txt")
+        assert populated.unprohibit("/fp", "/mail/msg1.txt") is True
+        assert "msg1.txt" in populated.listdir("/fp")
+        assert populated.unprohibit("/fp", "/mail/msg1.txt") is False
+
+    def test_prohibition_tracks_inode_across_rename(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.unlink("/fp/msg1.txt")
+        populated.rename("/mail/msg1.txt", "/mail/renamed.txt")
+        populated.clock.tick()
+        populated.ssync("/")
+        # the same file (same inode) stays prohibited under its new name
+        assert "renamed.txt" not in populated.listdir("/fp")
+
+
+class TestPermanentLinks:
+    def test_symlink_into_semantic_dir_is_permanent(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.symlink("/notes/recipe.txt", "/fp/recipe.txt")
+        assert populated.classify("/fp/recipe.txt") == "permanent"
+
+    def test_permanent_survives_reevaluation(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.symlink("/notes/recipe.txt", "/fp/recipe.txt")
+        populated.ssync("/")
+        assert "recipe.txt" in populated.listdir("/fp")
+        assert populated.classify("/fp/recipe.txt") == "permanent"
+
+    def test_permanent_survives_query_change(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.symlink("/notes/recipe.txt", "/fp/recipe.txt")
+        populated.set_query("/fp", "minutiae")
+        assert "recipe.txt" in populated.listdir("/fp")
+
+    def test_make_permanent_promotes_transient(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.make_permanent("/fp/msg1.txt")
+        assert populated.classify("/fp/msg1.txt") == "permanent"
+        # now even a disjoint query keeps it
+        populated.set_query("/fp", "zzz")
+        assert populated.listdir("/fp") == ["msg1.txt"]
+
+    def test_make_permanent_requires_transient(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        with pytest.raises(InvalidArgument):
+            populated.make_permanent("/fp/nope.txt")
+
+    def test_dangling_symlink_not_tracked(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.symlink("/gone", "/fp/dangle")
+        assert populated.classify("/fp/dangle") is None
+
+
+class TestQueryChanges:
+    def test_set_query_reevaluates(self, populated):
+        populated.smkdir("/q", "lunch")
+        assert set(populated.links("/q")) == {"msg2.txt"}
+        populated.set_query("/q", "recipe")
+        assert set(populated.links("/q")) == {"recipe.txt"}
+
+    def test_detach_query_removes_transient_keeps_permanent(self, populated):
+        populated.smkdir("/q", "fingerprint")
+        populated.symlink("/notes/recipe.txt", "/q/recipe.txt")
+        populated.set_query("/q", None)
+        assert populated.listdir("/q") == ["recipe.txt"]
+        assert not populated.is_semantic("/q")
+        assert populated.get_query("/q") is None
+
+    def test_attach_query_to_plain_dir(self, populated):
+        populated.mkdir("/plain")
+        populated.set_query("/plain", "lunch")
+        assert populated.is_semantic("/plain")
+        assert set(populated.links("/plain")) == {"msg2.txt"}
+
+
+class TestSact:
+    def test_sact_returns_matching_lines(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        lines = populated.sact("/fp/msg1.txt")
+        assert lines == ["Subject: fingerprint sensor",
+                         "the fingerprint sensor prototype works"]
+
+    def test_sact_on_permanent_link(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.symlink("/notes/recipe.txt", "/fp/recipe.txt")
+        # recipe has no "fingerprint" line; sact yields nothing
+        assert populated.sact("/fp/recipe.txt") == []
+
+    def test_sact_outside_semantic_dir_fails(self, populated):
+        populated.symlink("/mail/msg1.txt", "/notes/link")
+        with pytest.raises(NotASemanticDirectory):
+            populated.sact("/notes/link")
+
+    def test_sact_untracked_entry_fails(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.write_file("/fp/plain.txt", b"a plain file")
+        with pytest.raises(FileNotFound):
+            populated.sact("/fp/plain.txt")

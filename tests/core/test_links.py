@@ -1,0 +1,107 @@
+"""Unit tests for targets and the three-way link classification."""
+
+import pytest
+
+from repro.cba.results import RemoteId
+from repro.core.links import LinkSets, Target
+
+
+class TestTarget:
+    def test_local(self):
+        t = Target.local("fs#1", 42)
+        assert t.is_local and not t.is_remote
+        assert t.ino == 42
+        assert t.key == ("fs#1", 42)
+        assert str(t) == "fs#1:ino42"
+
+    def test_remote(self):
+        t = Target.remote("digilib", "paper1")
+        assert t.is_remote
+        assert t.remote_id() == RemoteId("digilib", "paper1")
+        assert str(t) == "digilib://paper1"
+
+    def test_kind_guards(self):
+        with pytest.raises(ValueError):
+            Target.remote("n", "d").ino
+        with pytest.raises(ValueError):
+            Target.remote("n", "d").key
+        with pytest.raises(ValueError):
+            Target.local("f", 1).remote_id()
+
+    def test_obj_roundtrip(self):
+        for t in (Target.local("f", 9), Target.remote("n", "d")):
+            assert Target.from_obj(t.to_obj()) == t
+
+    def test_from_remote_id(self):
+        rid = RemoteId("n", "d")
+        assert Target.from_remote_id(rid).remote_id() == rid
+
+
+@pytest.fixture
+def sets():
+    ls = LinkSets()
+    ls.add_permanent("perm.txt", Target.local("f", 1))
+    ls.add_transient("trans.txt", Target.local("f", 2))
+    return ls
+
+
+class TestLinkSets:
+    def test_classify(self, sets):
+        assert sets.classify(Target.local("f", 1)) == "permanent"
+        assert sets.classify(Target.local("f", 2)) == "transient"
+        assert sets.classify(Target.local("f", 9)) is None
+
+    def test_names_and_targets(self, sets):
+        assert sets.name_of(Target.local("f", 2)) == "trans.txt"
+        assert sets.target_of("perm.txt") == Target.local("f", 1)
+        assert sets.target_of("nope") is None
+        assert sets.used_names() == {"perm.txt", "trans.txt"}
+
+    def test_all_targets_is_current_result(self, sets):
+        assert sets.all_targets() == {Target.local("f", 1), Target.local("f", 2)}
+
+    def test_prohibit_transient(self, sets):
+        gone = sets.prohibit("trans.txt")
+        assert gone == Target.local("f", 2)
+        assert sets.classify(gone) == "prohibited"
+        assert "trans.txt" not in sets.used_names()
+
+    def test_prohibit_permanent(self, sets):
+        gone = sets.prohibit("perm.txt")
+        assert sets.classify(gone) == "prohibited"
+
+    def test_prohibit_unknown_is_none(self, sets):
+        assert sets.prohibit("ghost") is None
+
+    def test_readding_by_hand_lifts_prohibition(self, sets):
+        gone = sets.prohibit("trans.txt")
+        sets.add_permanent("back.txt", gone)
+        assert sets.classify(gone) == "permanent"
+        assert gone not in sets.prohibited
+
+    def test_unprohibit(self, sets):
+        gone = sets.prohibit("trans.txt")
+        assert sets.unprohibit(gone) is True
+        assert sets.unprohibit(gone) is False
+        assert sets.classify(gone) is None
+
+    def test_forget_does_not_prohibit(self, sets):
+        gone = sets.forget("trans.txt")
+        assert gone == Target.local("f", 2)
+        assert sets.classify(gone) is None
+
+    def test_clear_transient(self, sets):
+        sets.clear_transient()
+        assert not sets.transient
+        assert sets.permanent  # untouched
+
+    def test_obj_roundtrip(self, sets):
+        sets.prohibit("perm.txt")
+        sets.add_transient("r", Target.remote("n", "d"))
+        restored = LinkSets.from_obj(sets.to_obj())
+        assert restored.permanent == sets.permanent
+        assert restored.transient == sets.transient
+        assert restored.prohibited == sets.prohibited
+
+    def test_repr(self, sets):
+        assert "permanent=1" in repr(sets)

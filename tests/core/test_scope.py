@@ -1,0 +1,97 @@
+"""Unit tests for scope computation (§2.3)."""
+
+import pytest
+
+
+def doc_ids(hacfs, *paths):
+    out = set()
+    for path in paths:
+        res = hacfs.fs.resolve(path)
+        doc = hacfs.engine.doc_id_of((res.fs.fsid, res.node.ino))
+        assert doc is not None, path
+        out.add(doc)
+    return out
+
+
+class TestRootScope:
+    def test_root_provides_all_indexed_files(self, populated):
+        scope = populated.scopes.provided("/")
+        assert set(scope.local) == doc_ids(
+            populated, "/notes/fp-design.txt", "/notes/recipe.txt",
+            "/mail/msg1.txt", "/mail/msg2.txt", "/src/match.c")
+
+    def test_root_namespaces_cover_all_mounts(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        assert populated.scopes.provided("/").namespaces == {"digilib"}
+
+
+class TestSyntacticScope:
+    def test_subtree_files(self, populated):
+        scope = populated.scopes.provided("/notes")
+        assert set(scope.local) == doc_ids(
+            populated, "/notes/fp-design.txt", "/notes/recipe.txt")
+
+    def test_unindexed_file_not_in_scope(self, populated):
+        populated.write_file("/notes/new.txt", b"fresh fingerprint data")
+        scope = populated.scopes.provided("/notes")
+        # not yet indexed (data consistency is lazy): only 2 docs
+        assert len(scope.local) == 2
+
+    def test_symlink_targets_counted(self, populated):
+        populated.symlink("/src/match.c", "/notes/code-link")
+        scope = populated.scopes.provided("/notes")
+        assert doc_ids(populated, "/src/match.c") <= set(scope.local)
+
+    def test_dangling_symlink_ignored(self, populated):
+        populated.symlink("/gone", "/notes/dangle")
+        scope = populated.scopes.provided("/notes")
+        assert len(scope.local) == 2
+
+    def test_remote_symlink_contributes_remote_member(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.symlink("digilib://fp-survey", "/notes/survey")
+        scope = populated.scopes.provided("/notes")
+        assert {r.uri() for r in scope.remote} == {"digilib://fp-survey"}
+
+    def test_namespaces_under(self, populated, library):
+        populated.makedirs("/a/b")
+        populated.smount("/a/b", library)
+        assert populated.scopes.provided("/a").namespaces == {"digilib"}
+        assert populated.scopes.provided("/notes").namespaces == set()
+
+
+class TestSemanticScope:
+    def test_semantic_dir_provides_its_links(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        scope = populated.scopes.provided("/fp")
+        assert set(scope.local) == doc_ids(
+            populated, "/notes/fp-design.txt", "/mail/msg1.txt", "/src/match.c")
+
+    def test_physical_files_directly_inside_count(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        populated.write_file("/fp/extra.txt", b"added by hand")
+        populated.ssync("/")
+        scope = populated.scopes.provided("/fp")
+        assert doc_ids(populated, "/fp/extra.txt") <= set(scope.local)
+
+    def test_semantic_links_excluded_from_syntactic_ancestor(self, populated):
+        populated.mkdir("/group")
+        populated.smkdir("/group/fp", "fingerprint")
+        # /group's provided scope must NOT contain fp's query results
+        scope = populated.scopes.provided("/group")
+        assert not set(scope.local)
+
+    def test_plain_dir_symlinks_do_count_for_ancestor(self, populated):
+        populated.mkdir("/group")
+        populated.symlink("/src/match.c", "/group/code")
+        scope = populated.scopes.provided("/group")
+        assert set(scope.local) == doc_ids(populated, "/src/match.c")
+
+    def test_dangling_uid_scope_empty(self, populated):
+        scope = populated.scopes.provided_by_uid(424242)
+        assert not scope.local and not scope.remote and not scope.namespaces
+
+    def test_repr(self, populated):
+        assert "Scope(" in repr(populated.scopes.provided("/"))

@@ -1,0 +1,106 @@
+"""Failure injection: remote outages and full devices must degrade cleanly."""
+
+import pytest
+
+from repro.errors import NoSpace, RemoteUnavailable
+from repro.core.hacfs import HacFileSystem
+from repro.remote.rpc import RpcTransport
+from repro.remote.searchsvc import SimulatedSearchService
+from repro.vfs.blockdev import BlockDevice
+from repro.vfs.filesystem import FileSystem
+
+
+class FlakyTransport(RpcTransport):
+    """Fails exactly when told to."""
+
+    def __init__(self, name, clock=None):
+        super().__init__(name, clock=clock)
+        self.down = False
+
+    def call(self, what, fn):
+        if self.down:
+            raise RemoteUnavailable(self.name, f"{what} (outage)")
+        return super().call(what, fn)
+
+
+@pytest.fixture
+def flaky_world(populated):
+    transport = FlakyTransport("digilib", clock=populated.clock)
+    lib = SimulatedSearchService("digilib", documents={
+        "fp-survey": "fingerprint survey paper",
+        "fp-new": "new fingerprint techniques",
+    }, transport=transport)
+    populated.mkdir("/lib")
+    populated.smount("/lib", lib)
+    return populated, lib, transport
+
+
+class TestRemoteOutage:
+    def test_existing_remote_links_survive_outage(self, flaky_world):
+        hac, lib, transport = flaky_world
+        hac.smkdir("/fp", "fingerprint")
+        remote_before = {t for _c, t in hac.links("/fp").values()
+                         if t.startswith("digilib")}
+        assert len(remote_before) == 2
+        transport.down = True
+        hac.ssync("/")   # must not raise, must not lose the links
+        remote_after = {t for _c, t in hac.links("/fp").values()
+                        if t.startswith("digilib")}
+        assert remote_after == remote_before
+        assert hac.counters.get("consistency.remote_failures") > 0
+
+    def test_local_results_unaffected_by_outage(self, flaky_world):
+        hac, lib, transport = flaky_world
+        transport.down = True
+        hac.smkdir("/fp", "fingerprint")
+        names = set(hac.links("/fp"))
+        assert {"fp-design.txt", "msg1.txt", "match.c"} <= names
+
+    def test_recovery_after_outage(self, flaky_world):
+        hac, lib, transport = flaky_world
+        transport.down = True
+        hac.smkdir("/fp", "fingerprint")
+        assert not any(t.startswith("digilib")
+                       for _c, t in hac.links("/fp").values())
+        transport.down = False
+        lib.add_document("fp-extra", "extra fingerprint doc")
+        hac.ssync("/")
+        remote = {t for _c, t in hac.links("/fp").values()
+                  if t.startswith("digilib")}
+        assert len(remote) == 3
+
+    def test_fetch_outage_raises_cleanly(self, flaky_world):
+        hac, lib, transport = flaky_world
+        hac.smkdir("/fp", "fingerprint")
+        name = next(n for n, (_c, t) in hac.links("/fp").items()
+                    if t.startswith("digilib"))
+        transport.down = True
+        with pytest.raises(RemoteUnavailable):
+            hac.read_file(f"/fp/{name}")
+
+
+class TestDeviceFull:
+    def test_write_fails_with_nospace(self):
+        device = BlockDevice(block_size=512, capacity_blocks=20)
+        fs = FileSystem(device=device)
+        hac = HacFileSystem(fs=fs)
+        with pytest.raises(NoSpace):
+            hac.write_file("/big", b"x" * (512 * 40))
+
+    def test_metadata_growth_hits_capacity(self):
+        device = BlockDevice(block_size=512, capacity_blocks=6)
+        fs = FileSystem(device=device)
+        hac = HacFileSystem(fs=fs)
+        with pytest.raises(NoSpace):
+            for i in range(200):
+                hac.mkdir(f"/d{i}")
+
+    def test_failed_write_leaves_fs_usable(self):
+        device = BlockDevice(block_size=512, capacity_blocks=30)
+        fs = FileSystem(device=device)
+        hac = HacFileSystem(fs=fs)
+        hac.write_file("/ok", b"fits")
+        with pytest.raises(NoSpace):
+            hac.write_file("/big", b"x" * (512 * 64))
+        assert hac.read_file("/ok") == b"fits"
+        hac.write_file("/ok2", b"still works")

@@ -1,0 +1,117 @@
+"""The paper's running example, end to end (§2.1, §3.2).
+
+A user works on a fingerprint project.  Relevant material is spread across
+notes, mail, source code, a mounted laptop, and a remote digital library.
+One semantic directory gathers it all; the user then curates it, refines it,
+shares it, and survives reorganisations.
+"""
+
+import pytest
+
+from repro.core.hacfs import HacFileSystem
+from repro.remote.registry import SharedDirectoryRegistry
+from repro.remote.remotefs import RemoteHacFileSystem
+from repro.remote.searchsvc import SimulatedSearchService
+from repro.shell.session import HacShell
+from repro.vfs.filesystem import FileSystem
+from repro.workloads.mailgen import MailGenerator
+
+
+@pytest.fixture
+def world():
+    shell = HacShell(HacFileSystem())
+    hac = shell.hacfs
+    hac.makedirs("/notes")
+    hac.write_file("/notes/ideas.txt",
+                   b"fingerprint ridge counting approaches\n")
+    hac.write_file("/notes/shopping.txt", b"milk, eggs\n")
+    MailGenerator(seed=4).populate(hac, "/mail", count=15)
+    laptop = FileSystem(name="laptop")
+    laptop.makedirs("/src")
+    laptop.write_file("/src/minutiae.c", b"/* fingerprint minutiae code */\n")
+    hac.mkdir("/laptop")
+    hac.mount("/laptop", laptop)
+    library = SimulatedSearchService("digilib", documents={
+        "fp-1975": "early fingerprint classification survey",
+        "nn-1998": "neural networks in vision",
+    }, titles={"fp-1975": "Henry1975"})
+    hac.mkdir("/library")
+    hac.smount("/library", library)
+    hac.clock.tick()
+    hac.ssync("/")
+    return shell
+
+
+class TestTheRunningExample:
+    def test_gathering(self, world):
+        world.smkdir("/fingerprint", "fingerprint")
+        rows = world.sls("/fingerprint")
+        targets = {t for _n, _c, t in rows}
+        assert any("ino" in t for t in targets)           # local files
+        assert "digilib://fp-1975" in targets             # the library
+        names = {n for n, _c, _t in rows}
+        assert "ideas.txt" in names
+        assert "minutiae.c" in names                      # from the laptop
+
+    def test_curation_and_refinement(self, world):
+        world.smkdir("/fingerprint", "fingerprint")
+        # remove noise: prohibit mail about deadlines that merely mentions it
+        mail_links = [n for n, _c, _t in world.sls("/fingerprint")
+                      if n.startswith("msg")]
+        world.rm(f"/fingerprint/{mail_links[0]}")
+        # keep a recipe for the team offsite, off-topic but wanted
+        world.ln("/notes/shopping.txt", "/fingerprint/offsite.txt")
+        # refine: mail-only subdirectory
+        world.smkdir("/fingerprint/from-mail", "/mail")
+        sub = {n for n, _c, _t in world.sls("/fingerprint/from-mail")}
+        assert mail_links[0] not in sub
+        assert sub <= {n for n, _c, _t in world.sls("/fingerprint")}
+        world.ssync("/")
+        assert mail_links[0] not in world.ls("/fingerprint")
+        assert "offsite.txt" in world.ls("/fingerprint")
+
+    def test_reading_through_links(self, world):
+        world.smkdir("/fingerprint", "fingerprint")
+        assert "ridge counting" in world.cat("/fingerprint/ideas.txt")
+        assert "classification survey" in world.cat("/fingerprint/Henry1975")
+        assert world.sact("/fingerprint/ideas.txt") == [
+            "fingerprint ridge counting approaches"]
+
+    def test_new_mail_arrives(self, world):
+        world.smkdir("/fingerprint", "fingerprint")
+        before = set(world.ls("/fingerprint").splitlines())
+        world.hacfs.write_file(
+            "/mail/msg9999.txt",
+            b"From: boss\nSubject: fingerprint demo\n\nship the fingerprint demo\n")
+        world.hacfs.clock.tick()
+        world.ssync("/mail")  # "update ... as soon as new mail comes in"
+        after = set(world.ls("/fingerprint").splitlines())
+        assert after - before == {"msg9999.txt"}
+
+    def test_project_reorganisation(self, world):
+        world.smkdir("/fingerprint", "fingerprint")
+        world.smkdir("/status", "/fingerprint AND deadline")
+        world.hacfs.makedirs("/projects")
+        world.mv("/fingerprint", "/projects/fingerprint")
+        # the dependent query updated its display text and still evaluates
+        assert world.squery("/status") == "/projects/fingerprint AND deadline"
+        world.ssync("/")
+        assert world.hacfs.is_semantic("/projects/fingerprint")
+
+    def test_share_with_coworker(self, world):
+        world.smkdir("/fingerprint", "fingerprint")
+        registry = SharedDirectoryRegistry()
+        rec = registry.publish("udi", world.hacfs, "/fingerprint")
+        assert registry.search("fingerprint")[0].doc == rec
+
+        coworker = HacFileSystem()
+        coworker.makedirs("/work")
+        coworker.write_file("/work/note.txt", b"my own fingerprint notes")
+        coworker.ssync("/")
+        ns = RemoteHacFileSystem("udi", world.hacfs,
+                                 export_root="/fingerprint")
+        coworker.mkdir("/udi")
+        coworker.smount("/udi", ns)
+        coworker.smkdir("/borrowed", "fingerprint")
+        targets = {t for _c, t in coworker.links("/borrowed").values()}
+        assert any(t.startswith("udi://") for t in targets)

@@ -1,0 +1,49 @@
+"""Property tests: query ASTs survive rendering and re-parsing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cba.queryast import And, Approx, Not, Or, Phrase, Term
+from repro.cba.queryparser import parse_query
+
+words = st.text(alphabet="abcdefgh", min_size=2, max_size=6).filter(
+    lambda w: w not in ("and", "or", "not"))
+
+leaves = st.one_of(
+    words.map(Term),
+    st.tuples(words, st.integers(min_value=1, max_value=3)).map(
+        lambda t: Approx(*t)),
+    st.lists(words, min_size=2, max_size=3).map(Phrase),
+)
+
+
+def compounds(children):
+    return st.one_of(
+        st.lists(children, min_size=2, max_size=3).map(And),
+        st.lists(children, min_size=2, max_size=3).map(Or),
+        children.map(Not),
+    )
+
+
+queries = st.recursive(leaves, compounds, max_leaves=8)
+
+
+@given(queries)
+def test_to_text_parse_roundtrip(ast):
+    text = ast.to_text()
+    reparsed = parse_query(text)
+    # rendering normalises nesting (flattened AND/OR), so compare the
+    # *second* round trip: render(parse(render(x))) == render(parse(x))
+    assert parse_query(reparsed.to_text()) == reparsed
+
+
+@given(queries)
+def test_obj_roundtrip_exact(ast):
+    from repro.cba.queryast import from_obj
+    assert from_obj(ast.to_obj()) == ast
+
+
+@given(queries)
+def test_terms_survive_roundtrip(ast):
+    reparsed = parse_query(ast.to_text())
+    assert sorted(set(reparsed.terms())) == sorted(set(ast.terms()))

@@ -1,0 +1,81 @@
+"""Property tests: codec round-trips and path algebra laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import pathutil
+from repro.util.serialization import dumps, loads
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+@given(values)
+def test_codec_roundtrip(value):
+    assert loads(dumps(value)) == value
+
+
+# --- path algebra ------------------------------------------------------------
+
+components = st.lists(
+    st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+            min_size=1, max_size=8),
+    max_size=6)
+
+
+def to_path(comps):
+    return "/" + "/".join(comps)
+
+
+@given(components)
+def test_normalize_idempotent(comps):
+    p = to_path(comps)
+    assert pathutil.normalize(pathutil.normalize(p)) == pathutil.normalize(p)
+
+
+@given(components)
+def test_split_join_inverse(comps):
+    p = pathutil.normalize(to_path(comps))
+    parent, name = pathutil.split(p)
+    if name:
+        assert pathutil.join(parent, name) == p
+
+
+@given(components, components)
+def test_rebase_moves_subtree(base, rel):
+    src = pathutil.normalize(to_path(base))
+    if src == "/":
+        return
+    inner = pathutil.join(src, *rel) if rel else src
+    moved = pathutil.rebase(inner, src, "/dst")
+    assert pathutil.is_ancestor("/dst", moved, strict=False)
+    assert pathutil.relative_to(moved, "/dst") == pathutil.relative_to(inner, src)
+
+
+@given(components)
+def test_ancestors_are_ancestors(comps):
+    p = pathutil.normalize(to_path(comps))
+    for anc in pathutil.ancestors(p):
+        assert pathutil.is_ancestor(anc, p)
+
+
+@given(components, components)
+def test_is_ancestor_antisymmetric(a, b):
+    pa, pb = to_path(a), to_path(b)
+    if pathutil.is_ancestor(pa, pb) and pathutil.is_ancestor(pb, pa):
+        raise AssertionError("strict ancestry cannot be mutual")

@@ -1,0 +1,85 @@
+"""The central database of shared semantic directories (§3.2)."""
+
+import pytest
+
+from repro.remote.registry import SharedDirectoryRegistry
+
+
+@pytest.fixture
+def registry():
+    return SharedDirectoryRegistry()
+
+
+@pytest.fixture
+def published(registry, populated):
+    populated.smkdir("/fp", "fingerprint")
+    record_id = registry.publish("alice", populated, "/fp")
+    return record_id
+
+
+class TestPublish:
+    def test_publish_records_query_and_entries(self, registry, populated, published):
+        rec = registry.get(published)
+        assert rec.user == "alice"
+        assert rec.query_text == "fingerprint"
+        assert len(rec.entries) == 3
+
+    def test_republish_updates(self, registry, populated, published):
+        populated.unlink("/fp/msg1.txt")
+        registry.publish("alice", populated, "/fp")
+        assert len(registry.get(published).entries) == 2
+        assert len(registry) == 1
+
+    def test_withdraw(self, registry, published):
+        registry.withdraw(published)
+        assert registry.get(published) is None
+        assert len(registry) == 0
+        registry.withdraw(published)  # idempotent
+
+
+class TestSearchable:
+    def test_find_users_with_similar_tastes(self, registry, populated, published):
+        hits = registry.search("fingerprint")
+        assert [h.doc for h in hits] == ["alice:/fp"]
+
+    def test_fetch_renders_record(self, registry, published):
+        text = registry.fetch(published)
+        assert "alice" in text and "fingerprint" in text
+        assert registry.fetch("ghost") == ""
+
+    def test_records_listing(self, registry, populated, published):
+        populated.smkdir("/lunchq", "lunch")
+        registry.publish("bob", populated, "/lunchq")
+        users = [r.user for r in registry.records()]
+        assert users == ["alice", "bob"]
+
+
+class TestImport:
+    def test_import_creates_permanent_links(self, registry, populated):
+        # publish a directory whose entries are remote URIs (importable)
+        populated.mkdir("/lib")
+        from repro.remote.searchsvc import SimulatedSearchService
+        lib = SimulatedSearchService("digilib", documents={
+            "p1": "fingerprint paper one", "p2": "other topic"})
+        populated.smount("/lib", lib)
+        populated.smkdir("/fp", "fingerprint")
+        record_id = registry.publish("alice", populated, "/fp")
+
+        importer_links = registry.import_into(populated, record_id, "/imported")
+        assert importer_links  # the remote URI entries came across
+        assert populated.classify(importer_links[0]) is None  # plain dir: untracked
+        # imported into a semantic dir they become permanent
+        populated.smkdir("/sem-import", "zzznothing")
+        created = registry.import_into(populated, record_id, "/sem-import")
+        assert all(populated.classify(p) == "permanent" for p in created)
+
+    def test_import_unknown_record(self, registry, populated):
+        with pytest.raises(KeyError):
+            registry.import_into(populated, "nobody:/x", "/dest")
+
+    def test_import_skips_inode_entries(self, registry, populated):
+        populated.smkdir("/fp", "fingerprint")
+        record_id = registry.publish("alice", populated, "/fp")
+        created = registry.import_into(populated, record_id, "/dest")
+        # all local entries are inode ids on the exporter side: skipped
+        assert created == []

@@ -1,0 +1,73 @@
+"""Another user's HAC file system as a mountable name space (§3)."""
+
+import pytest
+
+from repro.core.hacfs import HacFileSystem
+from repro.remote.remotefs import RemoteHacFileSystem
+
+
+@pytest.fixture
+def coworker():
+    other = HacFileSystem()
+    other.makedirs("/papers")
+    other.write_file("/papers/fp.txt", b"her fingerprint bibliography")
+    other.write_file("/papers/ml.txt", b"machine learning reading list")
+    other.smkdir("/curated", "bibliography OR reading")
+    other.ssync("/")
+    return other
+
+
+class TestExport:
+    def test_search_remote_hac(self, coworker):
+        ns = RemoteHacFileSystem("carol", coworker)
+        hits = ns.search("fingerprint")
+        assert [h.doc for h in hits] == ["/papers/fp.txt"]
+
+    def test_fetch(self, coworker):
+        ns = RemoteHacFileSystem("carol", coworker)
+        assert "bibliography" in ns.fetch("/papers/fp.txt")
+
+    def test_export_root_restricts(self, coworker):
+        coworker.makedirs("/private")
+        coworker.write_file("/private/fp-secret.txt", b"private fingerprint")
+        coworker.ssync("/")
+        ns = RemoteHacFileSystem("carol", coworker, export_root="/papers")
+        docs = [h.doc for h in ns.search("fingerprint")]
+        assert docs == ["/papers/fp.txt"]
+
+    def test_export_semantic_dir_shares_curation(self, coworker):
+        """Mounting a coworker's *semantic directory* searches only their
+        curated result — browsing someone else's classification (§3.2)."""
+        ns = RemoteHacFileSystem("carol", coworker, export_root="/curated")
+        docs = {h.doc for h in ns.search("*")}
+        assert docs == {"/papers/fp.txt", "/papers/ml.txt"}
+        docs = {h.doc for h in ns.search("learning")}
+        assert docs == {"/papers/ml.txt"}
+
+
+class TestMountedIntoLocal(object):
+    def test_full_cycle(self, populated, coworker):
+        ns = RemoteHacFileSystem("carol", coworker)
+        populated.mkdir("/carol")
+        populated.smount("/carol", ns)
+        populated.smkdir("/fp", "fingerprint")
+        links = populated.links("/fp")
+        assert "carol://" + "/papers/fp.txt" in {t for _c, t in links.values()}
+        # read the remote file through the local link name
+        name = next(n for n, (_c, t) in links.items()
+                    if t == "carol:///papers/fp.txt")
+        assert b"bibliography" in populated.read_file(f"/fp/{name}")
+
+    def test_mutual_mounts_no_cycle_trouble(self, populated, coworker):
+        """§3.2: s.Local as a multiple mount — 'no problem of cyclic
+        reference here' because a mount is just a CBA interface."""
+        here_ns = RemoteHacFileSystem("me", populated)
+        there_ns = RemoteHacFileSystem("carol", coworker)
+        populated.mkdir("/carol")
+        populated.smount("/carol", there_ns)
+        coworker.mkdir("/me")
+        coworker.smount("/me", here_ns)
+        populated.smkdir("/fp", "fingerprint")
+        coworker.smkdir("/fp2", "fingerprint")
+        assert populated.links("/fp")
+        assert coworker.links("/fp2")

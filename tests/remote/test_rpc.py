@@ -1,0 +1,60 @@
+"""RPC simulation: latency, counting, deterministic failures."""
+
+import pytest
+
+from repro.errors import RemoteUnavailable
+from repro.remote.rpc import RpcTransport
+from repro.util.clock import VirtualClock
+from repro.util.stats import Counters
+
+
+class TestTransport:
+    def test_latency_charged_to_clock(self):
+        clock = VirtualClock()
+        rpc = RpcTransport("svc", clock=clock, latency=0.25)
+        rpc.call("op", lambda: 1)
+        rpc.call("op", lambda: 2)
+        assert clock.now == 0.5
+
+    def test_result_passthrough(self):
+        rpc = RpcTransport("svc")
+        assert rpc.call("op", lambda: "value") == "value"
+
+    def test_counters(self):
+        counters = Counters()
+        rpc = RpcTransport("svc", counters=counters)
+        rpc.call("search", lambda: None)
+        rpc.call("fetch", lambda: None)
+        assert rpc.calls == 2
+        assert counters.get("rpc.svc.calls.search") == 1
+
+    def test_failure_rate_validation(self):
+        with pytest.raises(ValueError):
+            RpcTransport("svc", failure_rate=1.5)
+
+    def test_deterministic_failures(self):
+        def failures(seed):
+            rpc = RpcTransport("svc", failure_rate=0.5, seed=seed)
+            out = []
+            for i in range(20):
+                try:
+                    rpc.call("op", lambda: i)
+                    out.append(False)
+                except RemoteUnavailable:
+                    out.append(True)
+            return out
+
+        assert failures(7) == failures(7)
+        assert any(failures(7)) and not all(failures(7))
+
+    def test_zero_rate_never_fails(self):
+        rpc = RpcTransport("svc", failure_rate=0.0)
+        for i in range(50):
+            assert rpc.call("op", lambda: i) == i
+
+    def test_failure_counter(self):
+        counters = Counters()
+        rpc = RpcTransport("svc", failure_rate=1.0, counters=counters)
+        with pytest.raises(RemoteUnavailable):
+            rpc.call("op", lambda: None)
+        assert counters.get("rpc.svc.failures") == 1

@@ -1,0 +1,77 @@
+"""The simulated remote search service (digital library)."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.remote.rpc import RpcTransport
+from repro.remote.searchsvc import SimulatedSearchService
+from repro.util.clock import VirtualClock
+
+
+@pytest.fixture
+def svc():
+    return SimulatedSearchService("lib", documents={
+        "d1": "fingerprint recognition overview",
+        "d2": "cooking with cast iron",
+        "d3": "fingerprint sensors and cooking",
+    }, titles={"d1": "Overview"})
+
+
+class TestSearch:
+    def test_basic_search(self, svc):
+        hits = svc.search("fingerprint")
+        assert [h.doc for h in hits] == ["d1", "d3"]
+
+    def test_titles_used(self, svc):
+        hits = {h.doc: h.title for h in svc.search("fingerprint")}
+        assert hits["d1"] == "Overview"
+        assert hits["d3"] == "d3"
+
+    def test_boolean(self, svc):
+        hits = svc.search("fingerprint AND cooking")
+        assert [h.doc for h in hits] == ["d3"]
+
+    def test_star_returns_all(self, svc):
+        assert len(svc.search("*")) == 3
+
+    def test_dir_refs_not_supported(self, svc):
+        with pytest.raises(QuerySyntaxError):
+            svc.search("/local/path")
+
+    def test_remote_id_helper(self, svc):
+        hit = svc.search("cast")[0]
+        assert hit.remote_id("lib").uri() == "lib://d2"
+
+
+class TestCorpus:
+    def test_fetch(self, svc):
+        assert "cast iron" in svc.fetch("d2")
+        with pytest.raises(KeyError):
+            svc.fetch("nope")
+
+    def test_add_update_remove(self, svc):
+        svc.add_document("d4", "new fingerprint paper", title="New")
+        assert "d4" in [h.doc for h in svc.search("fingerprint")]
+        svc.add_document("d4", "now about gardening")
+        assert "d4" not in [h.doc for h in svc.search("fingerprint")]
+        svc.remove_document("d4")
+        assert len(svc) == 3
+        svc.remove_document("d4")  # idempotent
+
+    def test_title_of(self, svc):
+        assert svc.title_of("d1") == "Overview"
+        assert svc.title_of("d2") is None
+
+
+class TestTransportIntegration:
+    def test_latency_accrues(self):
+        clock = VirtualClock()
+        svc = SimulatedSearchService(
+            "lib", documents={"d": "x"},
+            transport=RpcTransport("lib", clock=clock, latency=0.1))
+        svc.search("x")
+        svc.fetch("d")
+        assert clock.now == pytest.approx(0.2)
+
+    def test_describe(self, svc):
+        assert svc.describe() == "lib (glimpse)"

@@ -1,0 +1,136 @@
+"""Semantic mount points: §3.1/3.2 behaviour through HacFileSystem."""
+
+import pytest
+
+from repro.errors import MountError, QueryLanguageMismatch
+from repro.remote.namespace import NameSpace, RemoteDoc
+from repro.remote.searchsvc import SimulatedSearchService
+
+
+class OtherLanguage(NameSpace):
+    namespace_id = "weird"
+    query_language = "sql"
+
+    def search(self, query_text):
+        return []
+
+    def fetch(self, doc):
+        return ""
+
+
+class TestMountTable:
+    def test_mount_and_scope_import(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smkdir("/fp", "fingerprint")
+        names = populated.links("/fp")
+        # local hits plus the two matching remote papers (by title)
+        assert {"Survey", "Sensors"} <= set(names)
+        assert names["Survey"][1] == "digilib://fp-survey"
+
+    def test_remote_link_readable_through_fetch(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smkdir("/fp", "fingerprint")
+        body = populated.read_file("/fp/Survey")
+        assert b"survey of fingerprint" in body
+
+    def test_mount_scope_is_positional(self, populated, library):
+        # mounted under /lib: a query scoped to /notes must NOT import
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smkdir("/notes/fp", "fingerprint")
+        assert all("digilib" not in tgt
+                   for _c, tgt in populated.links("/notes/fp").values())
+
+    def test_double_mount_same_id_rejected(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        with pytest.raises(MountError):
+            populated.smount("/lib", library)
+
+    def test_language_mismatch_rejected(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        with pytest.raises(QueryLanguageMismatch):
+            populated.smount("/lib", OtherLanguage())
+
+    def test_multiple_mount_unions_scopes(self, populated, library):
+        other = SimulatedSearchService("arxiv", documents={
+            "fp-new": "new fingerprint matching paper",
+        })
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smount("/lib", other)
+        populated.smkdir("/fp", "fingerprint")
+        targets = {tgt for _c, tgt in populated.links("/fp").values()}
+        assert "digilib://fp-survey" in targets
+        assert "arxiv://fp-new" in targets  # results stay disjoint by ns
+
+    def test_sunmount_stops_imports(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smkdir("/fp", "fingerprint")
+        assert "Survey" in populated.links("/fp")
+        populated.sunmount("/lib", "digilib")
+        assert "Survey" not in populated.links("/fp")
+
+    def test_sunmount_unknown_rejected(self, populated, library):
+        populated.mkdir("/lib")
+        with pytest.raises(MountError):
+            populated.sunmount("/lib")
+        populated.smount("/lib", library)
+        with pytest.raises(MountError):
+            populated.sunmount("/lib", "nope")
+
+    def test_mount_survives_rename(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.rename("/lib", "/library")
+        assert populated.semmounts.is_mount_point("/library")
+        populated.smkdir("/fp", "fingerprint")
+        assert "Survey" in populated.links("/fp")
+
+    def test_mount_points_listing(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        assert list(populated.semmounts.mount_points()) == [("/lib", ["digilib"])]
+
+
+class TestRefinement:
+    def test_child_refines_remote_results(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smkdir("/fp", "fingerprint")
+        populated.smkdir("/fp/sensors", "capacitive")
+        names = populated.links("/fp/sensors")
+        assert set(names) == {"Sensors"}
+
+    def test_prohibited_remote_result(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smkdir("/fp", "fingerprint")
+        populated.unlink("/fp/Survey")
+        populated.ssync("/")
+        assert "Survey" not in populated.listdir("/fp")
+        assert "digilib://fp-survey" in populated.prohibited("/fp")
+
+    def test_remote_result_gone_from_backend_drops(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smkdir("/fp", "fingerprint")
+        library.remove_document("fp-survey")
+        populated.ssync("/")
+        assert "Survey" not in populated.listdir("/fp")
+
+    def test_physical_file_in_mount_dir_indexed(self, populated, library):
+        """§3.1: physical files within a semantic mount point are indexed
+        and can match queries outside the mount's subtree."""
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.write_file("/lib/reading-notes.txt",
+                             b"my fingerprint reading notes")
+        populated.clock.tick()
+        populated.ssync("/")
+        populated.smkdir("/fp", "fingerprint")
+        assert "reading-notes.txt" in populated.links("/fp")

@@ -1,0 +1,82 @@
+"""The interactive REPL's command dispatch."""
+
+import pytest
+
+from repro.shell.cli import build_demo_shell, execute
+
+
+@pytest.fixture(scope="module")
+def shell():
+    return build_demo_shell()
+
+
+class TestDispatch:
+    def test_help(self, shell):
+        assert "smkdir" in execute(shell, "help")
+
+    def test_empty_line(self, shell):
+        assert execute(shell, "") == ""
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in execute(shell, "frobnicate")
+
+    def test_parse_error_reported(self, shell):
+        assert "parse error" in execute(shell, 'cat "unterminated')
+
+    def test_ls_and_cat(self, shell):
+        assert "notes" in execute(shell, "ls")
+        assert "fingerprint" in execute(shell, "cat /notes/fp-design.txt")
+
+    def test_cd_pwd(self, shell):
+        assert execute(shell, "cd /notes") == "/notes"
+        assert execute(shell, "pwd") == "/notes"
+        execute(shell, "cd /")
+
+    def test_semantic_flow(self, shell):
+        out = execute(shell, "smkdir /fpdemo fingerprint")
+        assert "semantic directory /fpdemo" in out
+        assert execute(shell, "squery /fpdemo") == "fingerprint"
+        listing = execute(shell, "sls /fpdemo")
+        assert "[transient]" in listing
+        sact = execute(shell, "sact /fpdemo/fp-design.txt")
+        assert "fingerprint" in sact
+
+    def test_write_mv_rm(self, shell):
+        execute(shell, "mkdir /scratch")
+        execute(shell, "write /scratch/a.txt hello there")
+        assert "hello there" in execute(shell, "cat /scratch/a.txt")
+        execute(shell, "mv /scratch/a.txt /scratch/b.txt")
+        execute(shell, "rm /scratch/b.txt")
+        assert execute(shell, "ls /scratch") == ""
+
+    def test_smount_and_glimpse(self, shell):
+        out = execute(shell, "smount /library")
+        assert "mounted demo library" in out
+        execute(shell, "smkdir /glimpsed glimpse")
+        # the demo mail corpus has glimpse-topic messages
+        assert "/mail/" in execute(shell, "glimpse glimpse")
+
+    def test_ssync(self, shell):
+        assert "ReindexPlan" in execute(shell, "ssync /")
+
+    def test_errors_survive(self, shell):
+        assert "error:" in execute(shell, "cat /does/not/exist")
+        assert "error:" in execute(shell, "rmdir /notes")  # not empty
+
+    def test_watch_commands(self, shell):
+        assert "watching /mail" in execute(shell, "swatch /mail")
+        execute(shell, "smkdir /fresh fingerprint")
+        execute(shell, "write /mail/live.txt breaking fingerprint news")
+        assert "live.txt" in execute(shell, "ls /fresh")
+        assert execute(shell, "sunwatch /mail") == "unwatched"
+        assert execute(shell, "sunwatch /mail") == "was not watched"
+
+    def test_fsck_command(self, shell):
+        assert execute(shell, "fsck") == "clean"
+        shell.hacfs.meta.create(31337)       # plant an orphan record
+        assert "orphan-state" in execute(shell, "fsck")
+        assert execute(shell, "fsck --repair") != "clean"  # reports as it fixes
+        assert execute(shell, "fsck") == "clean"
+
+    def test_quit(self, shell):
+        assert execute(shell, "quit") is None

@@ -1,0 +1,45 @@
+"""Listing/table formatting."""
+
+from repro.shell.formatting import long_listing, mode_string, render_table
+from repro.vfs.inode import InodeType
+
+
+class TestModeString:
+    def test_directory(self):
+        assert mode_string(InodeType.DIRECTORY, 0o755) == "drwxr-xr-x"
+
+    def test_file(self):
+        assert mode_string(InodeType.FILE, 0o644) == "-rw-r--r--"
+
+    def test_symlink(self):
+        assert mode_string(InodeType.SYMLINK, 0o777) == "lrwxrwxrwx"
+
+    def test_odd_bits(self):
+        assert mode_string(InodeType.FILE, 0o640) == "-rw-r-----"
+
+
+class TestLongListing:
+    def test_rows(self):
+        out = long_listing([
+            ("f.txt", InodeType.FILE, 0o644, 120, 3.0, None, None),
+            ("ln", InodeType.SYMLINK, 0o777, 2, 4.0, "/f.txt", "transient"),
+            ("p", InodeType.SYMLINK, 0o777, 2, 4.0, "/g.txt", "permanent"),
+        ])
+        lines = out.splitlines()
+        assert lines[0].startswith("-rw-r--r--") and "f.txt" in lines[0]
+        assert "-> /f.txt" in lines[1] and "(t)" in lines[1]
+        assert "(p)" in lines[2]
+
+    def test_empty(self):
+        assert long_listing([]) == ""
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("alpha")
+        # columns align
+        assert lines[2].index("1") == lines[3].index("2")

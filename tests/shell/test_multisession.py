@@ -1,0 +1,57 @@
+"""Several shell sessions ("processes") over one HAC file system.
+
+The paper keeps the attribute cache in shared memory "so that different
+processes can access it"; descriptor tables are per-process.  Sessions
+model processes here: each has its own cwd; descriptor state lives in the
+shared HacFileSystem table (one table per HacFileSystem instance — the
+library is linked into each process, the name space is shared).
+"""
+
+import pytest
+
+from repro.shell.session import HacShell
+
+
+@pytest.fixture
+def sessions(populated):
+    return HacShell(populated), HacShell(populated)
+
+
+class TestSharedNamespace:
+    def test_independent_cwds(self, sessions):
+        a, b = sessions
+        a.cd("/notes")
+        b.cd("/mail")
+        assert a.pwd() == "/notes" and b.pwd() == "/mail"
+        assert a.cat("recipe.txt").startswith("banana")
+        assert "lunch" in b.cat("msg2.txt")
+
+    def test_mutations_visible_across_sessions(self, sessions):
+        a, b = sessions
+        a.write("/shared.txt", "written by a\n")
+        assert b.cat("/shared.txt") == "written by a\n"
+        b.rm("/shared.txt")
+        assert not a.hacfs.exists("/shared.txt")
+
+    def test_semantic_state_shared(self, sessions):
+        a, b = sessions
+        a.smkdir("/fp", "fingerprint")
+        assert b.squery("/fp") == "fingerprint"
+        b.rm("/fp/msg1.txt")                 # b prohibits
+        assert "msg1.txt" not in a.ls("/fp")  # a sees it gone
+        a.ssync("/")
+        assert "msg1.txt" not in b.ls("/fp")  # and it stays gone for both
+
+    def test_attribute_cache_shared(self, sessions):
+        a, b = sessions
+        a.stat("/notes/recipe.txt")           # a warms the cache
+        before = a.hacfs.fs.counters.get("vfs.stat")
+        b.stat("/notes/recipe.txt")           # b hits it
+        assert a.hacfs.fs.counters.get("vfs.stat") == before
+
+    def test_relative_semantic_commands(self, sessions):
+        a, b = sessions
+        a.cd("/notes")
+        a.smkdir("sub", "recipe")
+        assert b.sls("/notes/sub")
+        assert [n for n, _c, _t in b.sls("/notes/sub")] == ["recipe.txt"]

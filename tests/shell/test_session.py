@@ -1,0 +1,132 @@
+"""The HacShell command layer."""
+
+import pytest
+
+from repro.errors import NotADirectory
+from repro.shell.session import HacShell
+
+
+@pytest.fixture
+def shell(populated):
+    return HacShell(populated)
+
+
+class TestNavigation:
+    def test_cwd_resolution(self, shell):
+        assert shell.pwd() == "/"
+        shell.cd("notes")
+        assert shell.pwd() == "/notes"
+        assert shell.resolve_path("x.txt") == "/notes/x.txt"
+        assert shell.resolve_path("/abs") == "/abs"
+        shell.cd("..")
+        assert shell.pwd() == "/"
+
+    def test_cd_to_file_fails(self, shell):
+        with pytest.raises(NotADirectory):
+            shell.cd("/notes/recipe.txt")
+
+    def test_cd_through_symlink_canonicalises(self, shell):
+        shell.hacfs.symlink("/notes", "/nlink")
+        shell.cd("/nlink")
+        assert shell.pwd() == "/notes"
+
+
+class TestOrdinaryCommands:
+    def test_ls(self, shell):
+        assert shell.ls("/notes").splitlines() == ["fp-design.txt", "recipe.txt"]
+
+    def test_ls_long_marks_classifications(self, shell):
+        shell.smkdir("/fp", "fingerprint")
+        shell.ln("/notes/recipe.txt", "/fp/recipe.txt")
+        out = shell.ls("/fp", long=True)
+        assert "(t)" in out and "(p)" in out and "->" in out
+
+    def test_write_cat_cp_mv_rm(self, shell):
+        shell.write("/tmp.txt", "hello shell\n")
+        assert shell.cat("/tmp.txt") == "hello shell\n"
+        shell.cp("/tmp.txt", "/copy.txt")
+        shell.mv("/copy.txt", "/moved.txt")
+        assert shell.cat("/moved.txt") == "hello shell\n"
+        shell.rm("/moved.txt")
+        shell.rm("/tmp.txt")
+        assert not shell.hacfs.exists("/tmp.txt")
+
+    def test_touch_and_stat(self, shell):
+        shell.touch("/t")
+        shell.touch("/t")  # idempotent
+        assert shell.stat("/t").size == 0
+
+    def test_mkdir_rmdir_relative(self, shell):
+        shell.cd("/notes")
+        shell.mkdir("sub")
+        assert shell.hacfs.isdir("/notes/sub")
+        shell.rmdir("sub")
+        assert not shell.hacfs.exists("/notes/sub")
+
+
+class TestSemanticCommands:
+    def test_smkdir_and_squery(self, shell):
+        shell.smkdir("/fp", "fingerprint")
+        assert shell.squery("/fp") == "fingerprint"
+        assert shell.squery("/notes") is None
+
+    def test_schquery(self, shell):
+        shell.smkdir("/q", "lunch")
+        shell.schquery("/q", "recipe")
+        assert [n for n, _c, _t in shell.sls("/q")] == ["recipe.txt"]
+        shell.schquery("/q", None)
+        assert shell.squery("/q") is None
+
+    def test_sls_classifies(self, shell):
+        shell.smkdir("/fp", "fingerprint")
+        shell.ln("/notes/recipe.txt", "/fp/extra")
+        rows = shell.sls("/fp")
+        classes = {name: cls for name, cls, _t in rows}
+        assert classes["extra"] == "permanent"
+        assert classes["msg1.txt"] == "transient"
+
+    def test_rm_then_sprohibited(self, shell):
+        shell.smkdir("/fp", "fingerprint")
+        shell.rm("/fp/msg1.txt")
+        assert shell.sprohibited("/fp")
+
+    def test_spermanent(self, shell):
+        shell.smkdir("/fp", "fingerprint")
+        shell.spermanent("/fp/msg1.txt")
+        rows = dict((n, c) for n, c, _t in shell.sls("/fp"))
+        assert rows["msg1.txt"] == "permanent"
+
+    def test_sact(self, shell):
+        shell.smkdir("/fp", "fingerprint")
+        assert any("prototype works" in line
+                   for line in shell.sact("/fp/msg1.txt"))
+
+    def test_ssync_returns_plan(self, shell):
+        shell.write("/new.txt", "fingerprint appears\n")
+        shell.hacfs.clock.tick()
+        plan = shell.ssync("/")
+        assert plan.added
+
+    def test_glimpse_adhoc_search(self, shell):
+        hits = shell.glimpse("fingerprint")
+        assert "/notes/fp-design.txt" in hits
+        hits = shell.glimpse("fingerprint", scope_path="/mail")
+        assert hits == ["/mail/msg1.txt"]
+
+    def test_mounts_via_shell(self, shell, library):
+        shell.mkdir("/lib")
+        shell.smount("/lib", library)
+        shell.smkdir("/fp", "fingerprint")
+        assert any(t.startswith("digilib://")
+                   for _n, _c, t in shell.sls("/fp"))
+        shell.sunmount("/lib")
+
+    def test_syntactic_mount_via_shell(self, shell):
+        from repro.vfs.filesystem import FileSystem
+        other = FileSystem()
+        other.write_file("/r.txt", b"remote fingerprint")
+        shell.mkdir("/mnt")
+        shell.mount("/mnt", other)
+        shell.ssync("/")
+        assert "/mnt/r.txt" in shell.glimpse("fingerprint")
+        assert shell.unmount("/mnt") is other

@@ -1,0 +1,73 @@
+"""The exception hierarchy: codes, messages, and inheritance."""
+
+import pytest
+
+from repro import errors
+
+
+class TestVfsErrors:
+    def test_codes(self):
+        assert errors.FileNotFound("/x").code == "ENOENT"
+        assert errors.FileExists("/x").code == "EEXIST"
+        assert errors.NotADirectory("/x").code == "ENOTDIR"
+        assert errors.IsADirectory("/x").code == "EISDIR"
+        assert errors.DirectoryNotEmpty("/x").code == "ENOTEMPTY"
+        assert errors.SymlinkLoop("/x").code == "ELOOP"
+        assert errors.CrossDevice("/x").code == "EXDEV"
+        assert errors.DeviceBusy("/x").code == "EBUSY"
+        assert errors.NoSpace("/x").code == "ENOSPC"
+
+    def test_message_rendering(self):
+        err = errors.FileNotFound("/a/b", "directory unknown")
+        assert "ENOENT" in str(err)
+        assert "/a/b" in str(err)
+        assert "directory unknown" in str(err)
+        assert err.path == "/a/b"
+
+    def test_pathless_error(self):
+        assert str(errors.InvalidArgument()) == "EINVAL"
+
+    def test_all_vfs_errors_are_reproerrors(self):
+        for cls in (errors.FileNotFound, errors.BadFileDescriptor,
+                    errors.PermissionError_):
+            assert issubclass(cls, errors.VfsError)
+            assert issubclass(cls, errors.ReproError)
+
+
+class TestHacErrors:
+    def test_query_syntax_error_carries_position(self):
+        err = errors.QuerySyntaxError("a & b", 2, "unexpected '&'")
+        assert err.position == 2 and err.query == "a & b"
+        assert "at 2" in str(err)
+
+    def test_dependency_cycle_renders_path(self):
+        err = errors.DependencyCycle("/x", [1, 2, 1])
+        assert err.cycle == [1, 2, 1]
+        assert "1 -> 2 -> 1" in str(err)
+
+    def test_mount_errors(self):
+        err = errors.QueryLanguageMismatch("/m", "glimpse", "sql")
+        assert isinstance(err, errors.MountError)
+        assert "glimpse" in str(err) and "sql" in str(err)
+
+    def test_remote_unavailable(self):
+        err = errors.RemoteUnavailable("digilib", "timeout")
+        assert err.namespace == "digilib"
+        assert "timeout" in str(err)
+
+    def test_not_a_semantic_directory(self):
+        err = errors.NotASemanticDirectory("/plain")
+        assert err.path == "/plain"
+
+    def test_unknown_directory_reference(self):
+        assert "/nope" in str(errors.UnknownDirectoryReference("/nope"))
+
+    def test_stale_handle(self):
+        assert "ino9" in str(errors.StaleHandle("fs:ino9"))
+
+    def test_hac_errors_are_reproerrors(self):
+        for cls in (errors.QuerySyntaxError, errors.DependencyCycle,
+                    errors.RemoteUnavailable):
+            assert issubclass(cls, errors.HacError)
+            assert issubclass(cls, errors.ReproError)
+            assert not issubclass(cls, errors.VfsError)

@@ -1,0 +1,86 @@
+"""Unit tests for the virtual clock and its timers."""
+
+import pytest
+
+from repro.util.clock import VirtualClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_and_tick(self):
+        c = VirtualClock()
+        c.advance(2.5)
+        c.tick()
+        assert c.now == 3.5
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+
+class TestTimers:
+    def test_one_shot_fires_once(self):
+        c = VirtualClock()
+        fired = []
+        c.schedule(5.0, lambda: fired.append(c.now), name="t")
+        c.advance(4.9)
+        assert fired == []
+        c.advance(0.2)
+        assert fired == [5.0]
+        c.advance(100)
+        assert fired == [5.0]
+
+    def test_periodic_fires_repeatedly(self):
+        c = VirtualClock()
+        fired = []
+        c.schedule_periodic(10.0, lambda: fired.append(c.now))
+        c.advance(35)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_periodic_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VirtualClock().schedule_periodic(0, lambda: None)
+
+    def test_cancel(self):
+        c = VirtualClock()
+        fired = []
+        t = c.schedule_periodic(1.0, lambda: fired.append(1))
+        c.advance(2)
+        t.cancel()
+        c.advance(10)
+        assert len(fired) == 2
+
+    def test_cancel_from_inside_callback(self):
+        c = VirtualClock()
+        fired = []
+        timer = c.schedule_periodic(1.0, lambda: (fired.append(1),
+                                                  timer.cancel()))
+        c.advance(5)
+        assert len(fired) == 1
+
+    def test_firing_order_respects_deadlines(self):
+        c = VirtualClock()
+        order = []
+        c.schedule(3.0, lambda: order.append("b"))
+        c.schedule(1.0, lambda: order.append("a"))
+        c.schedule(2.0, lambda: order.append("m"))
+        c.advance(5)
+        assert order == ["a", "m", "b"]
+
+    def test_callback_sees_fire_time(self):
+        c = VirtualClock()
+        seen = []
+        c.schedule(2.0, lambda: seen.append(c.now))
+        c.advance(10)
+        assert seen == [2.0]
+
+    def test_pending_lists_live_timers(self):
+        c = VirtualClock()
+        t1 = c.schedule(5.0, lambda: None, name="x")
+        t2 = c.schedule(1.0, lambda: None, name="y")
+        t1.cancel()
+        names = [t.name for t in c.pending()]
+        assert names == ["y"]
+        assert "one-shot" in repr(t2)

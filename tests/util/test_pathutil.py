@@ -1,0 +1,83 @@
+"""Unit tests for lexical path algebra."""
+
+import pytest
+
+from repro.util import pathutil as P
+
+
+class TestNormalize:
+    def test_collapses_slashes_and_dots(self):
+        assert P.normalize("/a//b/./c/") == "/a/b/c"
+
+    def test_root(self):
+        assert P.normalize("///") == "/"
+        assert P.normalize("/") == "/"
+
+    def test_keeps_dotdot(self):
+        # ".." must survive normalisation: only the VFS may resolve it
+        assert P.normalize("/a/../b") == "/a/../b"
+
+    def test_rejects_relative(self):
+        with pytest.raises(ValueError):
+            P.normalize("a/b")
+
+
+class TestSplitJoin:
+    def test_split(self):
+        assert P.split("/a/b/c") == ("/a/b", "c")
+        assert P.split("/a") == ("/", "a")
+        assert P.split("/") == ("/", "")
+
+    def test_basename_dirname(self):
+        assert P.basename("/x/y.txt") == "y.txt"
+        assert P.dirname("/x/y.txt") == "/x"
+        assert P.dirname("/x") == "/"
+
+    def test_join(self):
+        assert P.join("/a", "b", "c") == "/a/b/c"
+        assert P.join("/", "b") == "/b"
+        assert P.join("/a/", "b") == "/a/b"
+
+    def test_join_absolute_resets(self):
+        assert P.join("/a", "/x", "y") == "/x/y"
+
+    def test_join_skips_empty(self):
+        assert P.join("/a", "", "b") == "/a/b"
+
+    def test_components(self):
+        assert P.split_components("/a//b/./c") == ["a", "b", "c"]
+        assert P.split_components("/") == []
+
+
+class TestAncestry:
+    def test_is_ancestor_strict(self):
+        assert P.is_ancestor("/a/b", "/a/b/c")
+        assert not P.is_ancestor("/a/b", "/a/b")
+        assert P.is_ancestor("/a/b", "/a/b", strict=False)
+
+    def test_prefix_confusion(self):
+        # "/a/b" is NOT an ancestor of "/a/bc"
+        assert not P.is_ancestor("/a/b", "/a/bc")
+
+    def test_root_is_ancestor_of_everything(self):
+        assert P.is_ancestor("/", "/x")
+        assert not P.is_ancestor("/", "/")
+
+    def test_relative_to(self):
+        assert P.relative_to("/a/b/c", "/a") == "b/c"
+        assert P.relative_to("/a", "/a") == ""
+        assert P.relative_to("/x", "/") == "x"
+        with pytest.raises(ValueError):
+            P.relative_to("/x", "/y")
+
+    def test_rebase(self):
+        assert P.rebase("/a/b/c", "/a/b", "/x") == "/x/c"
+        assert P.rebase("/a/b", "/a/b", "/x") == "/x"
+
+    def test_ancestors(self):
+        assert list(P.ancestors("/a/b/c")) == ["/", "/a", "/a/b"]
+        assert list(P.ancestors("/")) == []
+
+    def test_depth(self):
+        assert P.depth("/") == 0
+        assert P.depth("/a/b") == 2

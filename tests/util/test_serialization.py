@@ -1,0 +1,57 @@
+"""Unit tests for the MetaStore record codec."""
+
+import pytest
+
+from repro.util.serialization import SerializationError, dumps, loads
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False,
+        0, 1, -1, 255, -256, 2 ** 70, -(2 ** 70),
+        0.0, 3.5, -2.25,
+        "", "hello", "päth/ünïcode",
+        b"", b"\x00\xff raw",
+        [], [1, "two", None, [3.0]],
+        {}, {"k": 1, "nested": {"a": [True, b"x"]}},
+    ])
+    def test_roundtrip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_tuple_becomes_list(self):
+        assert loads(dumps((1, 2))) == [1, 2]
+
+    def test_bytearray_becomes_bytes(self):
+        assert loads(dumps(bytearray(b"ab"))) == b"ab"
+
+    def test_bool_not_confused_with_int(self):
+        assert loads(dumps(True)) is True
+        assert loads(dumps(1)) == 1
+        assert loads(dumps(1)) is not True
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(SerializationError):
+            dumps(object())
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(SerializationError):
+            dumps({1: "x"})
+
+    def test_truncated(self):
+        data = dumps("hello")
+        with pytest.raises(SerializationError):
+            loads(data[:-1])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SerializationError):
+            loads(dumps(1) + b"junk")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            loads(b"Zxxxx")
+
+    def test_empty_input(self):
+        with pytest.raises(SerializationError):
+            loads(b"")

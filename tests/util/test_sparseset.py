@@ -1,0 +1,118 @@
+"""Unit tests for the Roaring-style sparse set (§4 future work)."""
+
+import pytest
+
+from repro.util.sparseset import CHUNK_SIZE, DENSE_THRESHOLD, SparseSet
+
+
+class TestBasics:
+    def test_empty(self):
+        s = SparseSet()
+        assert len(s) == 0 and not s
+        assert list(s) == []
+        assert s.max_id() == -1
+        assert s.nbytes == 0
+
+    def test_add_contains_discard(self):
+        s = SparseSet([1, 70000, 5])
+        assert 1 in s and 70000 in s and 5 in s and 6 not in s
+        s.discard(70000)
+        assert 70000 not in s
+        s.discard(70000)  # idempotent
+        s.discard(-1)     # no-op
+        assert sorted(s) == [1, 5]
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            SparseSet().add(-1)
+        assert -5 not in SparseSet([1])
+
+    def test_iteration_sorted_across_chunks(self):
+        ids = [3, CHUNK_SIZE + 1, 2 * CHUNK_SIZE, 7, CHUNK_SIZE - 1]
+        assert list(SparseSet(ids)) == sorted(ids)
+
+    def test_max_id(self):
+        assert SparseSet([3, 900000, 12]).max_id() == 900000
+
+    def test_empty_chunks_pruned(self):
+        s = SparseSet([CHUNK_SIZE * 3 + 5])
+        s.discard(CHUNK_SIZE * 3 + 5)
+        assert s.nbytes == 0
+
+
+class TestRepresentationSwitch:
+    def test_promotes_to_bitmap_when_dense(self):
+        s = SparseSet()
+        sparse_bytes = None
+        for i in range(DENSE_THRESHOLD + 10):
+            s.add(i)
+            if i == 100:
+                sparse_bytes = s.nbytes
+        # dense chunk is capped at the 8 KiB bitmap + directory
+        assert s.nbytes <= CHUNK_SIZE // 8 + 6
+        assert sparse_bytes == 6 + 2 * 101
+        assert len(s) == DENSE_THRESHOLD + 10
+        assert all(i in s for i in range(0, DENSE_THRESHOLD + 10, 97))
+
+    def test_demotes_back_when_sparse(self):
+        s = SparseSet(range(DENSE_THRESHOLD + 10))
+        for i in range(DENSE_THRESHOLD + 10):
+            if i % 50:
+                s.discard(i)
+        # ~82 members left: array representation again
+        assert s.nbytes < 1000
+        assert sorted(s) == [i for i in range(DENSE_THRESHOLD + 10)
+                             if i % 50 == 0]
+
+
+class TestAlgebra:
+    def test_or_and_sub(self):
+        a = SparseSet([1, 2, CHUNK_SIZE + 5])
+        b = SparseSet([2, CHUNK_SIZE + 5, 9])
+        assert sorted(a | b) == [1, 2, 9, CHUNK_SIZE + 5]
+        assert sorted(a & b) == [2, CHUNK_SIZE + 5]
+        assert sorted(a - b) == [1]
+
+    def test_subset_and_intersects(self):
+        a = SparseSet([1, CHUNK_SIZE])
+        b = SparseSet([1, 2, CHUNK_SIZE])
+        assert a.issubset(b) and not b.issubset(a)
+        assert a.intersects(b)
+        assert not SparseSet([5]).intersects(SparseSet([6]))
+
+    def test_copy_independent(self):
+        a = SparseSet([1])
+        b = a.copy()
+        b.add(2)
+        assert 2 not in a
+
+    def test_equality(self):
+        assert SparseSet([1, 2]) == SparseSet([2, 1])
+        assert SparseSet([1]) != SparseSet([1, 2])
+
+
+class TestSerialization:
+    def test_roundtrip_sparse(self):
+        s = SparseSet([0, 5, 10 ** 6, 10 ** 7])
+        assert SparseSet.from_bytes(s.to_bytes()) == s
+
+    def test_roundtrip_dense_chunk(self):
+        s = SparseSet(range(DENSE_THRESHOLD * 2))
+        assert SparseSet.from_bytes(s.to_bytes()) == s
+
+    def test_trailing_garbage_rejected(self):
+        data = SparseSet([1]).to_bytes() + b"x"
+        with pytest.raises(ValueError):
+            SparseSet.from_bytes(data)
+
+
+class TestThePointOfItAll:
+    def test_sparse_result_over_huge_id_space(self):
+        """Three links among ten million files: bytes, not megabytes."""
+        from repro.util.bitmap import Bitmap
+        ids = [17, 4_999_999, 9_999_999]
+        sparse = SparseSet(ids)
+        flat = Bitmap(ids)
+        assert flat.nbytes == 1_250_000       # N/8: what the paper ships
+        assert sparse.nbytes < 64             # what its future work wants
+        assert sorted(sparse) == sorted(flat)

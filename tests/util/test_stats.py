@@ -1,0 +1,55 @@
+"""Unit tests for instrumentation counters."""
+
+from repro.util.stats import Counters
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("vfs.namei")
+        c.add("vfs.namei", 2)
+        assert c.get("vfs.namei") == 3
+        assert c.get("absent") == 0
+
+    def test_total_prefix(self):
+        c = Counters()
+        c.add("io.read", 2)
+        c.add("io.write", 3)
+        c.add("iox", 100)  # must NOT be counted under "io"
+        assert c.total("io") == 5
+
+    def test_scoped(self):
+        c = Counters()
+        s = c.scoped("glimpse")
+        s.add("scans", 4)
+        assert c.get("glimpse.scans") == 4
+        deeper = s.scoped("blocks")
+        deeper.add("hits")
+        assert c.get("glimpse.blocks.hits") == 1
+        assert s.get("scans") == 4
+
+    def test_snapshot_diff(self):
+        c = Counters()
+        c.add("x", 1)
+        before = c.snapshot()
+        c.add("x", 2)
+        c.add("y", 5)
+        diff = c.diff(before)
+        assert diff == {"x": 2, "y": 5}
+
+    def test_reset(self):
+        c = Counters()
+        c.add("x")
+        c.reset()
+        assert c.get("x") == 0
+
+    def test_items_sorted(self):
+        c = Counters()
+        c.add("b")
+        c.add("a")
+        assert [k for k, _v in c.items()] == ["a", "b"]
+
+    def test_repr(self):
+        c = Counters()
+        c.add("n", 2)
+        assert "n=2" in repr(c)

@@ -1,0 +1,99 @@
+"""Unit tests for the shared attribute cache and the block device."""
+
+import pytest
+
+from repro.errors import NoSpace
+from repro.util.stats import Counters
+from repro.vfs.attrcache import AttributeCache
+from repro.vfs.blockdev import BlockDevice
+from repro.vfs.inode import Attributes
+
+
+class TestAttributeCache:
+    def test_put_get_copies(self):
+        cache = AttributeCache(capacity=4)
+        attrs = Attributes(mode=0o644, size=10)
+        cache.put("/f", attrs)
+        got = cache.get("/f")
+        assert got.size == 10
+        got.size = 99          # mutating the copy must not affect the cache
+        assert cache.get("/f").size == 10
+        attrs.size = 123       # nor does mutating the original
+        assert cache.get("/f").size == 10
+
+    def test_miss_returns_none(self):
+        assert AttributeCache().get("/nope") is None
+
+    def test_invalidate(self):
+        cache = AttributeCache()
+        cache.put("/f", Attributes(mode=0o644))
+        cache.invalidate("/f")
+        assert cache.get("/f") is None
+
+    def test_eviction_beyond_capacity(self):
+        cache = AttributeCache(capacity=2)
+        for i in range(3):
+            cache.put(f"/f{i}", Attributes(mode=0o644))
+        assert len(cache) == 2
+        assert cache.get("/f0") is None
+
+    def test_stats_counters(self):
+        counters = Counters()
+        cache = AttributeCache(counters=counters)
+        cache.put("/f", Attributes(mode=0o644))
+        cache.get("/f")
+        cache.get("/g")
+        assert counters.get("attrcache.hit") == 1
+        assert counters.get("attrcache.miss") == 1
+
+    def test_footprint(self):
+        cache = AttributeCache()
+        assert cache.approximate_bytes() == 0
+        cache.put("/f", Attributes(mode=0o644))
+        assert cache.approximate_bytes() > 0
+
+
+class TestBlockDevice:
+    def test_block_size_positive(self):
+        with pytest.raises(ValueError):
+            BlockDevice(block_size=0)
+
+    def test_data_allocation_accounting(self):
+        dev = BlockDevice(block_size=100)
+        dev.allocate(0, 250)
+        assert dev.used_blocks == 3
+        dev.allocate(250, 50)
+        assert dev.used_blocks == 1
+
+    def test_capacity_enforced(self):
+        dev = BlockDevice(block_size=100, capacity_blocks=2)
+        dev.allocate(0, 200)
+        with pytest.raises(NoSpace):
+            dev.allocate(0, 1)
+
+    def test_records(self):
+        dev = BlockDevice()
+        dev.write_record("k", b"abc")
+        assert dev.read_record("k") == b"abc"
+        assert dev.record_bytes == 3
+        dev.write_record("k", b"ab")
+        assert dev.record_bytes == 2
+        assert dev.delete_record("k") is True
+        assert dev.delete_record("k") is False
+        assert dev.read_record("k") is None
+        assert dev.record_bytes == 0
+
+    def test_record_capacity(self):
+        dev = BlockDevice(block_size=10, capacity_blocks=1)
+        dev.write_record("a", b"x" * 10)
+        with pytest.raises(NoSpace):
+            dev.write_record("b", b"y" * 10)
+
+    def test_io_counters(self):
+        counters = Counters()
+        dev = BlockDevice(block_size=100, counters=counters)
+        dev.charge_read(250)
+        dev.charge_write(1)
+        assert counters.get("blockdev.read_blocks") == 3
+        assert counters.get("blockdev.write_blocks") == 1
+        assert counters.get("blockdev.read_ops") == 1

@@ -1,0 +1,144 @@
+"""Unit tests for descriptor-based I/O and the FD table."""
+
+import pytest
+
+from repro.errors import BadFileDescriptor, FileNotFound, InvalidArgument, IsADirectory
+from repro.vfs.fd import FDTable
+
+
+@pytest.fixture
+def table():
+    return FDTable()
+
+
+class TestOpenModes:
+    def test_read_mode_missing_file_fails(self, fs, table):
+        with pytest.raises(FileNotFound):
+            fs.open(table, "/nope", "r")
+
+    def test_write_mode_creates_and_truncates(self, fs, table):
+        fd = fs.open(table, "/f", "w")
+        fs.write(table, fd, b"hello")
+        fs.close(table, fd)
+        fd = fs.open(table, "/f", "w")
+        fs.close(table, fd)
+        assert fs.read_file("/f") == b""
+
+    def test_append_mode(self, fs, table):
+        fs.write_file("/f", b"ab")
+        fd = fs.open(table, "/f", "a")
+        fs.write(table, fd, b"cd")
+        fs.close(table, fd)
+        assert fs.read_file("/f") == b"abcd"
+
+    def test_bad_mode(self, fs, table):
+        with pytest.raises(InvalidArgument):
+            fs.open(table, "/f", "x")
+
+    def test_open_directory_fails(self, fs, table):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.open(table, "/d", "r")
+
+    def test_read_on_write_only_fd_fails(self, fs, table):
+        fd = fs.open(table, "/f", "w")
+        with pytest.raises(BadFileDescriptor):
+            fs.read(table, fd)
+
+    def test_write_on_read_only_fd_fails(self, fs, table):
+        fs.write_file("/f", b"x")
+        fd = fs.open(table, "/f", "r")
+        with pytest.raises(BadFileDescriptor):
+            fs.write(table, fd, b"y")
+
+
+class TestReadWriteSeek:
+    def test_sequential_reads(self, fs, table):
+        fs.write_file("/f", b"abcdef")
+        fd = fs.open(table, "/f", "r")
+        assert fs.read(table, fd, 2) == b"ab"
+        assert fs.read(table, fd, 2) == b"cd"
+        assert fs.read(table, fd) == b"ef"
+        assert fs.read(table, fd) == b""
+
+    def test_lseek_whences(self, fs, table):
+        fs.write_file("/f", b"abcdef")
+        fd = fs.open(table, "/f", "r")
+        assert fs.lseek(table, fd, 2) == 2
+        assert fs.read(table, fd, 1) == b"c"
+        assert fs.lseek(table, fd, 1, whence=1) == 4
+        assert fs.read(table, fd, 1) == b"e"
+        assert fs.lseek(table, fd, -1, whence=2) == 5
+        assert fs.read(table, fd) == b"f"
+
+    def test_negative_seek_rejected(self, fs, table):
+        fs.write_file("/f", b"ab")
+        fd = fs.open(table, "/f", "r")
+        with pytest.raises(InvalidArgument):
+            fs.lseek(table, fd, -1)
+        with pytest.raises(InvalidArgument):
+            fs.lseek(table, fd, 0, whence=9)
+
+    def test_overwrite_mid_file(self, fs, table):
+        fs.write_file("/f", b"abcdef")
+        fd = fs.open(table, "/f", "rw")
+        fs.lseek(table, fd, 2)
+        fs.write(table, fd, b"XY")
+        fs.close(table, fd)
+        assert fs.read_file("/f") == b"abXYef"
+
+    def test_write_past_end_zero_fills(self, fs, table):
+        fd = fs.open(table, "/f", "w")
+        fs.lseek(table, fd, 3)
+        fs.write(table, fd, b"Z")
+        fs.close(table, fd)
+        assert fs.read_file("/f") == b"\x00\x00\x00Z"
+
+    def test_independent_offsets(self, fs, table):
+        fs.write_file("/f", b"abcd")
+        fd1 = fs.open(table, "/f", "r")
+        fd2 = fs.open(table, "/f", "r")
+        assert fs.read(table, fd1, 2) == b"ab"
+        assert fs.read(table, fd2, 2) == b"ab"
+
+    def test_read_after_unlink_still_works(self, fs, table):
+        fs.write_file("/f", b"survive")
+        fd = fs.open(table, "/f", "r")
+        fs.unlink("/f")
+        assert fs.read(table, fd) == b"survive"
+
+
+class TestTable:
+    def test_fds_reused_lowest_first(self, fs, table):
+        fs.write_file("/f", b"x")
+        fd1 = fs.open(table, "/f", "r")
+        fd2 = fs.open(table, "/f", "r")
+        fs.close(table, fd1)
+        fd3 = fs.open(table, "/f", "r")
+        assert fd3 == fd1
+        assert fd2 != fd3
+
+    def test_close_twice_fails(self, fs, table):
+        fs.write_file("/f", b"x")
+        fd = fs.open(table, "/f", "r")
+        fs.close(table, fd)
+        with pytest.raises(BadFileDescriptor):
+            fs.close(table, fd)
+
+    def test_unknown_fd(self, fs, table):
+        with pytest.raises(BadFileDescriptor):
+            fs.read(table, 77)
+
+    def test_close_all(self, fs, table):
+        fs.write_file("/f", b"x")
+        fs.open(table, "/f", "r")
+        fs.open(table, "/f", "r")
+        assert len(table) == 2
+        table.close_all()
+        assert len(table) == 0
+
+    def test_contains_and_bytes(self, fs, table):
+        fs.write_file("/f", b"x")
+        fd = fs.open(table, "/f", "r")
+        assert fd in table
+        assert table.approximate_bytes() > 0

@@ -1,0 +1,303 @@
+"""Unit tests for the POSIX-like VFS: resolution, operations, errors."""
+
+import pytest
+
+from repro.errors import (
+    CrossDevice,
+    DeviceBusy,
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    SymlinkLoop,
+)
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.inode import path_of
+
+
+class TestDirectories:
+    def test_mkdir_and_listdir(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        assert fs.listdir("/") == ["a"]
+        assert fs.listdir("/a") == ["b"]
+
+    def test_mkdir_existing_fails(self, fs):
+        fs.mkdir("/a")
+        with pytest.raises(FileExists):
+            fs.mkdir("/a")
+
+    def test_mkdir_missing_parent_fails(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.mkdir("/no/such")
+
+    def test_makedirs(self, fs):
+        fs.makedirs("/x/y/z")
+        fs.makedirs("/x/y/z")  # idempotent
+        assert fs.isdir("/x/y/z")
+
+    def test_makedirs_through_file_fails(self, fs):
+        fs.write_file("/f", b"x")
+        with pytest.raises(NotADirectory):
+            fs.makedirs("/f/sub")
+
+    def test_rmdir(self, fs):
+        fs.mkdir("/a")
+        fs.rmdir("/a")
+        assert not fs.exists("/a")
+
+    def test_rmdir_nonempty_fails(self, fs):
+        fs.makedirs("/a/b")
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rmdir("/a")
+
+    def test_rmdir_file_fails(self, fs):
+        fs.write_file("/f", b"")
+        with pytest.raises(NotADirectory):
+            fs.rmdir("/f")
+
+    def test_listdir_of_file_fails(self, fs):
+        fs.write_file("/f", b"")
+        with pytest.raises(NotADirectory):
+            fs.listdir("/f")
+
+    def test_nlink_counts_subdirs(self, fs):
+        fs.mkdir("/a")
+        assert fs.stat("/a").attrs.nlink == 2
+        fs.mkdir("/a/b")
+        assert fs.stat("/a").attrs.nlink == 3
+        fs.rmdir("/a/b")
+        assert fs.stat("/a").attrs.nlink == 2
+
+
+class TestFiles:
+    def test_create_read_write(self, fs):
+        fs.create("/f")
+        assert fs.read_file("/f") == b""
+        fs.write_file("/f", b"hello")
+        assert fs.read_file("/f") == b"hello"
+
+    def test_write_file_creates(self, fs):
+        fs.write_file("/new", b"data")
+        assert fs.read_file("/new") == b"data"
+
+    def test_append(self, fs):
+        fs.write_file("/f", b"ab")
+        fs.write_file("/f", b"cd", append=True)
+        assert fs.read_file("/f") == b"abcd"
+
+    def test_write_str_rejected(self, fs):
+        with pytest.raises(InvalidArgument):
+            fs.write_file("/f", "not bytes")
+
+    def test_create_exist_ok(self, fs):
+        fs.create("/f")
+        st = fs.create("/f", exist_ok=True)
+        assert st.is_file
+        with pytest.raises(FileExists):
+            fs.create("/f")
+
+    def test_create_over_dir_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileExists):
+            fs.create("/d")
+
+    def test_read_dir_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.read_file("/d")
+
+    def test_truncate(self, fs):
+        fs.write_file("/f", b"abcdef")
+        fs.truncate("/f", 3)
+        assert fs.read_file("/f") == b"abc"
+        fs.truncate("/f", 5)
+        assert fs.read_file("/f") == b"abc\x00\x00"
+
+    def test_unlink(self, fs):
+        fs.write_file("/f", b"x")
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        with pytest.raises(FileNotFound):
+            fs.unlink("/f")
+
+    def test_unlink_dir_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.unlink("/d")
+
+    def test_mtime_advances_with_clock(self, fs):
+        fs.write_file("/f", b"1")
+        t1 = fs.stat("/f").mtime
+        fs.clock.tick()
+        fs.write_file("/f", b"2")
+        assert fs.stat("/f").mtime == t1 + 1.0
+
+
+class TestSymlinks:
+    def test_symlink_and_follow(self, fs):
+        fs.write_file("/target", b"data")
+        fs.symlink("/target", "/link")
+        assert fs.read_file("/link") == b"data"
+        assert fs.readlink("/link") == "/target"
+        assert fs.islink("/link")
+        assert fs.isfile("/link")  # follows
+
+    def test_lstat_vs_stat(self, fs):
+        fs.write_file("/t", b"12345")
+        fs.symlink("/t", "/l")
+        assert fs.stat("/l").is_file
+        assert fs.lstat("/l").is_symlink
+        assert fs.lstat("/l").size == len("/t")
+
+    def test_relative_symlink(self, fs):
+        fs.makedirs("/d")
+        fs.write_file("/d/t", b"rel")
+        fs.symlink("t", "/d/l")
+        assert fs.read_file("/d/l") == b"rel"
+
+    def test_dangling_symlink(self, fs):
+        fs.symlink("/nowhere", "/l")
+        assert fs.exists("/l", follow=False)
+        assert not fs.exists("/l", follow=True)
+        with pytest.raises(FileNotFound):
+            fs.read_file("/l")
+
+    def test_symlink_loop_detected(self, fs):
+        fs.symlink("/b", "/a")
+        fs.symlink("/a", "/b")
+        with pytest.raises(SymlinkLoop):
+            fs.read_file("/a")
+
+    def test_symlink_to_dir_traversal(self, fs):
+        fs.makedirs("/real/sub")
+        fs.write_file("/real/sub/f", b"x")
+        fs.symlink("/real", "/alias")
+        assert fs.read_file("/alias/sub/f") == b"x"
+
+    def test_readlink_on_file_fails(self, fs):
+        fs.write_file("/f", b"")
+        with pytest.raises(InvalidArgument):
+            fs.readlink("/f")
+
+    def test_unlink_removes_link_not_target(self, fs):
+        fs.write_file("/t", b"keep")
+        fs.symlink("/t", "/l")
+        fs.unlink("/l")
+        assert fs.read_file("/t") == b"keep"
+
+
+class TestRename:
+    def test_rename_file(self, fs):
+        fs.write_file("/a", b"x")
+        fs.rename("/a", "/b")
+        assert not fs.exists("/a")
+        assert fs.read_file("/b") == b"x"
+
+    def test_rename_preserves_ino(self, fs):
+        fs.write_file("/a", b"x")
+        ino = fs.stat("/a").ino
+        fs.rename("/a", "/b")
+        assert fs.stat("/b").ino == ino
+
+    def test_rename_replaces_file(self, fs):
+        fs.write_file("/a", b"new")
+        fs.write_file("/b", b"old")
+        fs.rename("/a", "/b")
+        assert fs.read_file("/b") == b"new"
+
+    def test_rename_dir_over_empty_dir(self, fs):
+        fs.makedirs("/a/x")
+        fs.mkdir("/b")
+        fs.rename("/a", "/b")
+        assert fs.isdir("/b/x")
+
+    def test_rename_dir_over_nonempty_dir_fails(self, fs):
+        fs.mkdir("/a")
+        fs.makedirs("/b/keep")
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rename("/a", "/b")
+
+    def test_rename_file_over_dir_fails(self, fs):
+        fs.write_file("/f", b"")
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.rename("/f", "/d")
+
+    def test_rename_dir_over_file_fails(self, fs):
+        fs.mkdir("/d")
+        fs.write_file("/f", b"")
+        with pytest.raises(NotADirectory):
+            fs.rename("/d", "/f")
+
+    def test_rename_into_own_subtree_fails(self, fs):
+        fs.makedirs("/a/b")
+        with pytest.raises(InvalidArgument):
+            fs.rename("/a", "/a/b/c")
+
+    def test_rename_root_fails(self, fs):
+        with pytest.raises(InvalidArgument):
+            fs.rename("/", "/x")
+
+    def test_rename_onto_itself_noop(self, fs):
+        fs.write_file("/a", b"x")
+        fs.rename("/a", "/a")
+        assert fs.read_file("/a") == b"x"
+
+    def test_rename_missing_source_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileNotFound):
+            fs.rename("/nope", "/d/x")
+
+
+class TestResolution:
+    def test_dotdot(self, fs):
+        fs.makedirs("/a/b")
+        fs.write_file("/a/f", b"x")
+        assert fs.read_file("/a/b/../f") == b"x"
+
+    def test_dotdot_at_root_stays(self, fs):
+        fs.mkdir("/a")
+        assert fs.resolve("/../../a").node is fs.resolve("/a").node
+
+    def test_component_through_file_fails(self, fs):
+        fs.write_file("/f", b"")
+        with pytest.raises(NotADirectory):
+            fs.resolve("/f/deeper")
+
+    def test_detached_node_has_no_path(self, fs):
+        fs.write_file("/f", b"")
+        node = fs.resolve("/f").node
+        fs.unlink("/f")
+        with pytest.raises(ValueError):
+            path_of(node)
+
+    def test_path_of_ino(self, fs):
+        fs.makedirs("/a/b")
+        st = fs.stat("/a/b")
+        assert fs.path_of_ino(st.ino) == "/a/b"
+        assert fs.path_of_ino(999999) is None
+
+
+class TestAccounting:
+    def test_du(self, fs):
+        fs.makedirs("/a")
+        fs.write_file("/a/f1", b"12345")
+        fs.write_file("/f2", b"123")
+        assert fs.du("/") == 8
+        assert fs.du("/a") == 5
+
+    def test_device_counters_move(self, fs):
+        before = fs.counters.get("blockdev.write_ops")
+        fs.write_file("/f", b"x" * 10000)
+        assert fs.counters.get("blockdev.write_ops") > before
+
+    def test_inode_count(self, fs):
+        base = fs.inode_count()
+        fs.mkdir("/a")
+        fs.write_file("/a/f", b"")
+        assert fs.inode_count() == base + 2
+        fs.unlink("/a/f")
+        assert fs.inode_count() == base + 1

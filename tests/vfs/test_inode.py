@@ -1,0 +1,92 @@
+"""Unit tests for inode primitives."""
+
+import pytest
+
+from repro.vfs.inode import (
+    Attributes,
+    DirNode,
+    FileNode,
+    InodeType,
+    SymlinkNode,
+    path_of,
+)
+
+
+class TestAttributes:
+    def test_copy_is_deep_enough(self):
+        a = Attributes(mode=0o644, size=5)
+        b = a.copy()
+        b.size = 99
+        assert a.size == 5
+
+    def test_as_dict(self):
+        d = Attributes(mode=0o644, size=5, mtime=2.0).as_dict()
+        assert d["size"] == 5 and d["mtime"] == 2.0 and d["nlink"] == 1
+
+    def test_repr(self):
+        assert "0o644" in repr(Attributes(mode=0o644))
+
+
+class TestNodes:
+    def test_type_predicates(self):
+        f = FileNode(ino=2, mode=0o644, now=0.0)
+        d = DirNode(ino=3, mode=0o755, now=0.0)
+        s = SymlinkNode(ino=4, mode=0o777, now=0.0, target="/x")
+        assert f.is_file and not f.is_dir and not f.is_symlink
+        assert d.is_dir and s.is_symlink
+        assert f.type is InodeType.FILE
+
+    def test_file_resize(self):
+        f = FileNode(ino=2, mode=0o644, now=0.0)
+        f.data.extend(b"abcdef")
+        f.resize(3)
+        assert bytes(f.data) == b"abc" and f.attrs.size == 3
+        f.resize(5)
+        assert bytes(f.data) == b"abc\x00\x00"
+
+    def test_symlink_size_is_target_length(self):
+        s = SymlinkNode(ino=4, mode=0o777, now=0.0, target="/abc")
+        assert s.attrs.size == 4
+
+    def test_dir_attach_detach(self):
+        d = DirNode(ino=3, mode=0o755, now=0.0)
+        child = FileNode(ino=5, mode=0o644, now=0.0)
+        d.attach("f", child)
+        assert d.lookup("f") is child
+        assert child.parent is d and child.name == "f"
+        assert d.attrs.size == 1
+        gone = d.detach("f")
+        assert gone is child and child.parent is None
+        assert d.is_empty()
+
+    def test_dir_nlink_tracks_subdirs(self):
+        d = DirNode(ino=3, mode=0o755, now=0.0)
+        sub = DirNode(ino=6, mode=0o755, now=0.0)
+        assert d.attrs.nlink == 2
+        d.attach("s", sub)
+        assert d.attrs.nlink == 3
+        d.detach("s")
+        assert d.attrs.nlink == 2
+
+    def test_names_sorted(self):
+        d = DirNode(ino=3, mode=0o755, now=0.0)
+        for name in ("z", "a", "m"):
+            d.attach(name, FileNode(ino=10 + ord(name), mode=0o644, now=0.0))
+        assert list(d.names()) == ["a", "m", "z"]
+
+
+class TestPathOf:
+    def test_path_reconstruction(self):
+        root = DirNode(ino=1, mode=0o755, now=0.0)
+        root.name = "/"
+        a = DirNode(ino=2, mode=0o755, now=0.0)
+        f = FileNode(ino=3, mode=0o644, now=0.0)
+        root.attach("a", a)
+        a.attach("f.txt", f)
+        assert path_of(f) == "/a/f.txt"
+        assert path_of(root) == "/"
+
+    def test_detached_raises(self):
+        lone = FileNode(ino=9, mode=0o644, now=0.0)
+        with pytest.raises(ValueError):
+            path_of(lone)

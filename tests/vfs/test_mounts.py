@@ -1,0 +1,118 @@
+"""Unit tests for syntactic mount points."""
+
+import pytest
+
+from repro.errors import DeviceBusy, FileNotFound, InvalidArgument, NotADirectory
+from repro.vfs.filesystem import FileSystem
+
+
+@pytest.fixture
+def host():
+    fs = FileSystem(name="host")
+    fs.makedirs("/mnt/a")
+    fs.write_file("/local.txt", b"local")
+    return fs
+
+
+@pytest.fixture
+def guest():
+    fs = FileSystem(name="guest")
+    fs.makedirs("/sub")
+    fs.write_file("/sub/remote.txt", b"remote")
+    fs.write_file("/top.txt", b"top")
+    return fs
+
+
+class TestMountBasics:
+    def test_mount_shadows_covered_dir(self, host, guest):
+        host.write_file("/mnt/a/covered.txt", b"hidden")
+        host.mount("/mnt/a", guest)
+        assert sorted(host.listdir("/mnt/a")) == ["sub", "top.txt"]
+        assert host.read_file("/mnt/a/top.txt") == b"top"
+        assert host.read_file("/mnt/a/sub/remote.txt") == b"remote"
+
+    def test_unmount_restores_covered_dir(self, host, guest):
+        host.write_file("/mnt/a/covered.txt", b"hidden")
+        host.mount("/mnt/a", guest)
+        returned = host.unmount("/mnt/a")
+        assert returned is guest
+        assert host.listdir("/mnt/a") == ["covered.txt"]
+
+    def test_mount_on_file_fails(self, host, guest):
+        with pytest.raises(NotADirectory):
+            host.mount("/local.txt", guest)
+
+    def test_double_mount_fails(self, host, guest):
+        host.mount("/mnt/a", guest)
+        with pytest.raises(DeviceBusy):
+            host.mount("/mnt/a", FileSystem())
+
+    def test_mount_self_fails(self, host):
+        with pytest.raises(InvalidArgument):
+            host.mount("/mnt", host)
+
+    def test_unmount_non_mount_fails(self, host):
+        with pytest.raises(InvalidArgument):
+            host.unmount("/mnt/a")
+        with pytest.raises(InvalidArgument):
+            host.unmount("/")
+
+    def test_mounts_listing(self, host, guest):
+        host.mount("/mnt/a", guest)
+        assert host.mounts() == [("/mnt/a", guest)]
+
+
+class TestCrossMountSemantics:
+    def test_dotdot_crosses_back(self, host, guest):
+        host.mount("/mnt/a", guest)
+        res = host.resolve("/mnt/a/sub/../..")
+        assert res.node is host.resolve("/mnt").node
+        res = host.resolve("/mnt/a/sub/../../..")
+        assert res.node is host.root
+
+    def test_writes_go_to_guest_device(self, host, guest):
+        host.mount("/mnt/a", guest)
+        before = guest.counters.get("blockdev.write_ops")
+        host.write_file("/mnt/a/new.txt", b"hello!")
+        assert guest.counters.get("blockdev.write_ops") > before
+        # the guest sees the file at its own path
+        assert guest.read_file("/new.txt") == b"hello!"
+
+    def test_rename_across_mount_fails(self, host, guest):
+        host.mount("/mnt/a", guest)
+        with pytest.raises(Exception) as exc:
+            host.rename("/local.txt", "/mnt/a/moved.txt")
+        assert "EXDEV" in str(exc.value)
+
+    def test_rename_within_guest_ok(self, host, guest):
+        host.mount("/mnt/a", guest)
+        host.rename("/mnt/a/top.txt", "/mnt/a/sub/top.txt")
+        assert guest.read_file("/sub/top.txt") == b"top"
+
+    def test_rmdir_mount_point_fails(self, host, guest):
+        host.mount("/mnt/a", guest)
+        with pytest.raises(DeviceBusy):
+            host.rmdir("/mnt/a")
+
+    def test_rename_subtree_containing_mount_fails(self, host, guest):
+        host.mount("/mnt/a", guest)
+        with pytest.raises(DeviceBusy):
+            host.rename("/mnt", "/mnt2")
+
+    def test_nested_mounts(self, host, guest):
+        inner = FileSystem(name="inner")
+        inner.write_file("/deep.txt", b"deep")
+        guest.mkdir("/sub/inner")
+        host.mount("/mnt/a", guest)
+        host.mount("/mnt/a/sub/inner", inner)
+        assert host.read_file("/mnt/a/sub/inner/deep.txt") == b"deep"
+
+    def test_stat_of_mount_point_shows_guest_root(self, host, guest):
+        host.mount("/mnt/a", guest)
+        st = host.stat("/mnt/a")
+        assert st.fsid == guest.fsid
+
+    def test_absolute_symlink_resolves_in_host(self, host, guest):
+        guest.symlink("/local.txt", "/backlink")
+        host.mount("/mnt/a", guest)
+        assert host.read_file("/mnt/a/backlink") == b"local"

@@ -1,0 +1,86 @@
+"""Unit tests for tree traversal helpers."""
+
+import pytest
+
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.walker import find, iter_files, iter_symlinks, tree_size, walk
+
+
+@pytest.fixture
+def tree(fs):
+    fs.makedirs("/a/b")
+    fs.makedirs("/a/c")
+    fs.write_file("/a/f1.txt", b"one")
+    fs.write_file("/a/b/f2.txt", b"two")
+    fs.symlink("/a/f1.txt", "/a/c/link")
+    return fs
+
+
+class TestWalk:
+    def test_walk_yields_topdown_sorted(self, tree):
+        out = list(walk(tree, "/"))
+        assert out[0][0] == "/"
+        paths = [d for d, _dn, _fn in out]
+        assert paths == ["/", "/a", "/a/b", "/a/c"]
+
+    def test_walk_lists_symlinks_as_files(self, tree):
+        by_dir = {d: fn for d, _dn, fn in walk(tree, "/")}
+        assert by_dir["/a/c"] == ["link"]
+
+    def test_walk_pruning(self, tree):
+        visited = []
+        for dirpath, dirnames, _files in walk(tree, "/"):
+            visited.append(dirpath)
+            if dirpath == "/a":
+                dirnames.remove("b")
+        assert "/a/b" not in visited
+        assert "/a/c" in visited
+
+    def test_walk_non_dir_fails(self, tree):
+        with pytest.raises(ValueError):
+            list(walk(tree, "/a/f1.txt"))
+
+    def test_walk_does_not_follow_symlink_cycles(self, fs):
+        fs.mkdir("/d")
+        fs.symlink("/d", "/d/self")
+        assert len(list(walk(fs, "/"))) == 2  # "/", "/d" — no hang
+
+
+class TestIterFiles:
+    def test_iter_files(self, tree):
+        # top-down: a directory's own files come before its subtrees'
+        paths = [p for p, _n in iter_files(tree, "/")]
+        assert paths == ["/a/f1.txt", "/a/b/f2.txt"]
+
+    def test_iter_symlinks(self, tree):
+        assert [p for p, _n in iter_symlinks(tree)] == ["/a/c/link"]
+
+    def test_iter_files_crosses_mounts(self, tree):
+        guest = FileSystem(name="g")
+        guest.write_file("/inner.txt", b"g")
+        tree.mkdir("/mnt")
+        tree.mount("/mnt", guest)
+        paths = [p for p, _n in iter_files(tree, "/")]
+        assert "/mnt/inner.txt" in paths
+
+    def test_iter_files_can_skip_mounts(self, tree):
+        guest = FileSystem(name="g")
+        guest.write_file("/inner.txt", b"g")
+        tree.mkdir("/mnt")
+        tree.mount("/mnt", guest)
+        paths = [p for p, _n in iter_files(tree, "/", cross_mounts=False)]
+        assert "/mnt/inner.txt" not in paths
+
+
+class TestFindAndSize:
+    def test_find_all(self, tree):
+        assert "/a/b/f2.txt" in find(tree)
+        assert "/a/b" in find(tree)
+
+    def test_find_predicate(self, tree):
+        files = find(tree, predicate=lambda p, n: n.is_file)
+        assert files == ["/a/b/f2.txt", "/a/f1.txt"]
+
+    def test_tree_size(self, tree):
+        dirs, files, links = tree_size(tree, "/")
+        assert (dirs, files, links) == (3, 2, 1)
