@@ -20,7 +20,10 @@ QUERY = "needle"
 
 def build(num_blocks, gen):
     docs = dict(gen.documents())
-    engine = CBAEngine(loader=docs.__getitem__, num_blocks=num_blocks)
+    # fast path off: this ablation measures the block-count/scan tradeoff,
+    # which the doc-postings path would short-circuit entirely
+    engine = CBAEngine(loader=docs.__getitem__, num_blocks=num_blocks,
+                       fast_path=False)
     for rel, text in docs.items():
         engine.index_document(rel, path="/" + rel, mtime=0.0, text=text)
     return engine

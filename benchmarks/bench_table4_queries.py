@@ -29,8 +29,11 @@ def build_world(scale):
                        topics=TOPICS, seed=9)
     gen = CorpusGenerator(cfg)
     # many small blocks, as in real Glimpse deployments: selective queries
-    # scan only a handful of candidate files
-    hac = HacFileSystem(num_blocks=512)
+    # scan only a handful of candidate files.  Fast path off: this table
+    # compares against the real Glimpse binary's scan behaviour, and the
+    # doc-postings path would answer the term queries without scanning at
+    # all (bench_ablation_fastpath quantifies that separately)
+    hac = HacFileSystem(num_blocks=512, fast_path=False)
     gen.populate(hac, "/db")
     hac.clock.tick()
     hac.ssync("/")

@@ -16,9 +16,7 @@ so encountering one here is a programming error and raises.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
-
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, List, Sequence, Set, Tuple
 
 from repro.cba.queryast import (
     And,

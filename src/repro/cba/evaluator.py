@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.util.bitmap import Bitmap
+from repro.cba import planner
 from repro.cba.engine import CBAEngine
 from repro.cba.queryast import And, DirRef, MatchAll, Node, Not, Or
 
@@ -44,6 +45,10 @@ def evaluate(query: Node, engine: CBAEngine,
 
 def _eval(node: Node, engine: CBAEngine,
           resolve: Callable[[int], Bitmap], scope: Bitmap) -> Bitmap:
+    if not scope:
+        # every result is scope ∩ something; an empty scope settles it
+        # without touching the index or the loader
+        return Bitmap()
     if isinstance(node, MatchAll):
         return scope.copy()
     if isinstance(node, DirRef):
@@ -52,9 +57,14 @@ def _eval(node: Node, engine: CBAEngine,
         return engine.search(node, scope)
     if isinstance(node, And):
         # narrow the scope child by child; directory references first, since
-        # they are set lookups while content terms cost index + scan work
+        # they are set lookups while content terms cost index + scan work —
+        # then content operands most-selective-first when the planner is on
         dir_children = [c for c in node.children if isinstance(c, DirRef)]
         other_children = [c for c in node.children if not isinstance(c, DirRef)]
+        if engine.fast_path and len(other_children) > 1:
+            other_children = planner.order_children(
+                other_children, engine.index,
+                engine.counters.scoped("engine"))
         acc = scope
         for child in dir_children + other_children:
             acc = _eval(child, engine, resolve, acc)

@@ -45,7 +45,8 @@ class GlimpseIndex:
     """Block-level inverted index over bags of terms."""
 
     def __init__(self, num_blocks: int = DEFAULT_NUM_BLOCKS,
-                 counters: Optional[Counters] = None):
+                 counters: Optional[Counters] = None,
+                 track_doc_postings: bool = True):
         if num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
         self.num_blocks = num_blocks
@@ -59,6 +60,13 @@ class GlimpseIndex:
         self._doc_terms: Dict[int, Set[int]] = {}
         #: block id → bitmap of member doc ids
         self._block_docs: Dict[int, Bitmap] = {}
+        #: term-id → bitmap of doc ids — the query fast path's exact
+        #: doc-level postings.  An in-memory acceleration structure, not
+        #: part of the paper's two-level on-disk index: it is not
+        #: persisted (rebuilt from ``_doc_terms`` on restore) and not
+        #: counted in :meth:`index_size_bytes`.
+        self.track_doc_postings = track_doc_postings
+        self._doc_postings: Dict[int, Bitmap] = {}
         self._all_docs = Bitmap()
         self._all_blocks = Bitmap()
 
@@ -84,6 +92,12 @@ class GlimpseIndex:
             if posting is None:
                 posting = self._postings[tid] = Bitmap()
             posting.add(block)
+        if self.track_doc_postings:
+            for tid in term_ids:
+                docs = self._doc_postings.get(tid)
+                if docs is None:
+                    docs = self._doc_postings[tid] = Bitmap()
+                docs.add(doc_id)
         self._doc_terms[doc_id] = term_ids
         self._block_docs.setdefault(block, Bitmap()).add(doc_id)
         self._all_docs.add(doc_id)
@@ -105,6 +119,12 @@ class GlimpseIndex:
                 self._postings[tid].discard(block)
                 if not self._postings[tid]:
                     del self._postings[tid]
+            if self.track_doc_postings:
+                docs = self._doc_postings.get(tid)
+                if docs is not None:
+                    docs.discard(doc_id)
+                    if not docs:
+                        del self._doc_postings[tid]
             self.lexicon.drop_occurrence(term)
         block_docs = self._block_docs[block]
         block_docs.discard(doc_id)
@@ -194,6 +214,60 @@ class GlimpseIndex:
         return self._all_docs.copy()
 
     # ------------------------------------------------------------------
+    # doc-level postings (query fast path)
+    # ------------------------------------------------------------------
+
+    def docs_with_term(self, term: str) -> Bitmap:
+        """Exact document set containing *term* (fast path only).
+
+        Requires ``track_doc_postings``; raises otherwise so a misconfigured
+        engine fails loudly instead of silently returning nothing.
+        """
+        if not self.track_doc_postings:
+            raise RuntimeError("doc-level postings are not being tracked")
+        tid = self.lexicon.lookup(term)
+        if tid is None:
+            return Bitmap()
+        docs = self._doc_postings.get(tid)
+        return docs.copy() if docs is not None else Bitmap()
+
+    def doc_postings_bytes(self) -> int:
+        """In-memory footprint of the doc-level postings, reported apart
+        from :meth:`index_size_bytes` so the paper's Table-3 space-overhead
+        shape is unaffected by the fast path."""
+        return sum(bm.nbytes for bm in self._doc_postings.values())
+
+    # ------------------------------------------------------------------
+    # selectivity estimation (query planner)
+    # ------------------------------------------------------------------
+
+    def estimate_docs(self, node: Node) -> int:
+        """Upper-bound-ish estimate of matching documents for *node*.
+
+        Term/FieldTerm read exact document frequencies from the lexicon;
+        everything the index cannot bound (Approx, Not, MatchAll, DirRef)
+        pessimistically estimates the whole corpus.  Only used for ordering
+        conjunctions — never for answering queries — so coarseness is fine.
+        """
+        total = len(self._doc_terms)
+        if isinstance(node, Term):
+            return self.lexicon.df(node.word)
+        if isinstance(node, FieldTerm):
+            return self.lexicon.df(f"{node.field}:{node.value}")
+        if isinstance(node, Phrase):
+            if not node.words:
+                return total
+            return min(self.lexicon.df(w) for w in node.words)
+        if isinstance(node, And):
+            if not node.children:
+                return total
+            return min(self.estimate_docs(c) for c in node.children)
+        if isinstance(node, Or):
+            return min(total, sum(self.estimate_docs(c)
+                                  for c in node.children))
+        return total
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
 
@@ -234,7 +308,8 @@ class GlimpseIndex:
         }
 
     @classmethod
-    def from_obj(cls, obj, counters: Optional[Counters] = None) -> "GlimpseIndex":
+    def from_obj(cls, obj, counters: Optional[Counters] = None,
+                 track_doc_postings: bool = True) -> "GlimpseIndex":
         from array import array
 
         def unpack(raw):
@@ -242,7 +317,8 @@ class GlimpseIndex:
             arr.frombytes(raw)
             return arr
 
-        idx = cls(num_blocks=obj["num_blocks"], counters=counters)
+        idx = cls(num_blocks=obj["num_blocks"], counters=counters,
+                  track_doc_postings=track_doc_postings)
         idx.lexicon = Lexicon.from_obj(obj["lexicon"])
         idx._postings = {int(t): Bitmap.from_bytes(raw)
                          for t, raw in obj["postings"].items()}
@@ -259,4 +335,13 @@ class GlimpseIndex:
             idx._all_docs.add(doc)
         for block in idx._block_docs:
             idx._all_blocks.add(block)
+        if track_doc_postings:
+            # doc postings are not persisted (an in-memory acceleration
+            # structure); rebuild from the removal map we already keep
+            for doc, tids in idx._doc_terms.items():
+                for tid in tids:
+                    docs = idx._doc_postings.get(tid)
+                    if docs is None:
+                        docs = idx._doc_postings[tid] = Bitmap()
+                    docs.add(doc)
         return idx

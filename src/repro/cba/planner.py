@@ -1,0 +1,111 @@
+"""Query planning: AST normalization and selectivity-ordered conjunctions.
+
+The block index and the verification scanner both evaluate ``And`` nodes
+child by child with short-circuiting, and the boolean evaluator narrows the
+scope progressively through a conjunction — so child *order* never changes
+the answer, only the work.  This module exploits that freedom, the same way
+CSI-style engines order conjunctive predicates by selectivity (PAPERS.md:
+*Robust and Scalable Content-and-Structure Indexing*):
+
+* :func:`normalize` flattens nested And/Or chains, removes duplicate
+  operands, drops neutral ``MatchAll`` elements, and cancels double
+  negation — all answer-preserving rewrites;
+* :func:`order_children` sorts the operands of a conjunction so the most
+  selective (fewest estimated matching documents) runs first, shrinking
+  the candidate set before the expensive operands see it;
+* :func:`plan` composes the two.
+
+Selectivity estimates come from :meth:`GlimpseIndex.estimate_docs`, which
+reads exact document frequencies out of the lexicon — no sampling, no
+statistics maintenance beyond what the index already keeps.  Directory
+references sort before content predicates: resolving one is a stored-bitmap
+lookup, cheaper than any index probe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cba.queryast import And, DirRef, MatchAll, Node, Not, Or
+
+
+def normalize(node: Node) -> Node:
+    """Answer-preserving simplification: flatten, dedup, drop neutrals.
+
+    ``And``/``Or`` constructors already flatten same-typed children; on top
+    of that this removes duplicate operands (sets are idempotent), treats
+    ``MatchAll`` as the neutral element of ``And`` and the absorbing element
+    of ``Or``, and collapses single-operand compounds.
+
+    Double negation is deliberately *not* cancelled: block nomination is
+    incomplete for non-indexable leaves (a stopword term nominates no
+    blocks, so ``Term(stopword)`` finds nothing), and ``NOT`` flips that
+    incompleteness — ``NOT NOT x`` nominates every block and lets the
+    scanner see matches that ``x`` alone misses.  Rewriting one to the
+    other would change answers, not just cost.
+    """
+    if isinstance(node, (And, Or)):
+        absorbing = isinstance(node, Or)
+        kids: List[Node] = []
+        seen = set()
+        for child in node.children:
+            child = normalize(child)
+            if isinstance(child, MatchAll):
+                if absorbing:
+                    return MatchAll()
+                continue
+            grand = (child.children if type(child) is type(node) else (child,))
+            for g in grand:
+                if g not in seen:
+                    seen.add(g)
+                    kids.append(g)
+        if not kids:
+            return MatchAll()
+        if len(kids) == 1:
+            return kids[0]
+        return type(node)(kids)
+    if isinstance(node, Not):
+        return Not(normalize(node.child))
+    return node
+
+
+def order_children(children: Sequence[Node], index,
+                   stats=None) -> List[Node]:
+    """Operands of a conjunction, cheapest-first.
+
+    Directory references come first (stored-bitmap lookups), then content
+    predicates by ascending estimated document count; ties keep their
+    original order, so the sort is deterministic and stable.
+    """
+    def rank(pair):
+        pos, child = pair
+        if isinstance(child, DirRef):
+            return (0, 0, pos)
+        return (1, _estimate(child, index), pos)
+
+    ranked = sorted(enumerate(children), key=rank)
+    ordered = [child for _pos, child in ranked]
+    if stats is not None and [id(c) for c in ordered] != \
+            [id(c) for c in children]:
+        stats.add("planner_reorders")
+    return ordered
+
+
+def _estimate(node: Node, index) -> int:
+    return index.estimate_docs(node)
+
+
+def plan(node: Node, index, stats=None) -> Node:
+    """Normalize *node* and selectivity-order every conjunction in it."""
+    return _order_tree(normalize(node), index, stats)
+
+
+def _order_tree(node: Node, index, stats) -> Node:
+    if isinstance(node, And):
+        kids = [_order_tree(c, index, stats) for c in node.children]
+        return And(order_children(kids, index, stats))
+    if isinstance(node, Or):
+        return Or([_order_tree(c, index, stats) for c in node.children])
+    if isinstance(node, Not):
+        return Not(_order_tree(node.child, index, stats))
+    return node

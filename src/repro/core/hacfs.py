@@ -64,7 +64,8 @@ class HacFileSystem:
                  clock: Optional[VirtualClock] = None,
                  counters: Optional[Counters] = None,
                  num_blocks: int = 64,
-                 attr_cache_capacity: int = 256):
+                 attr_cache_capacity: int = 256,
+                 fast_path: bool = True):
         self.counters = counters if counters is not None else Counters()
         self.clock = clock if clock is not None else VirtualClock()
         self.fs = fs if fs is not None else FileSystem(
@@ -75,7 +76,8 @@ class HacFileSystem:
         self.depgraph = DependencyGraph()
         self.engine = CBAEngine(loader=self._load_doc, num_blocks=num_blocks,
                                 transducer=default_transducer,
-                                counters=self.counters)
+                                counters=self.counters,
+                                fast_path=fast_path)
         self.semmounts = SemanticMountTable(uid_of=self.dirmap.uid_of,
                                             path_of=self.dirmap.path_of)
         self.scopes = ScopeResolver(self)
@@ -731,7 +733,8 @@ class HacFileSystem:
     def restore(cls, fs: FileSystem,
                 clock: Optional[VirtualClock] = None,
                 counters: Optional[Counters] = None,
-                reuse_index: bool = True) -> "HacFileSystem":
+                reuse_index: bool = True,
+                fast_path: bool = True) -> "HacFileSystem":
         """Rebuild a HAC file system from the records persisted on *fs*'s
         device (crash recovery / reopen).  Link classifications and queries
         come back verbatim; the content index is restored from the persisted
@@ -765,11 +768,13 @@ class HacFileSystem:
         if saved is not None:
             hacfs.engine = CBAEngine.from_obj(
                 saved, loader=hacfs._load_doc,
-                transducer=default_transducer, counters=hacfs.counters)
+                transducer=default_transducer, counters=hacfs.counters,
+                fast_path=fast_path)
         else:
             hacfs.engine = CBAEngine(loader=hacfs._load_doc,
                                      transducer=default_transducer,
-                                     counters=hacfs.counters)
+                                     counters=hacfs.counters,
+                                     fast_path=fast_path)
         hacfs.meta.reload_all()
         # a saved index makes this incremental (Θ(changes), not Θ(corpus))
         hacfs.ssync("/")

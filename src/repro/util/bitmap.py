@@ -7,16 +7,19 @@ module is that representation: a growable bit vector with the set algebra the
 scope-consistency algorithm needs (and/or/difference), plus population count
 and iteration for materialising symbolic links.
 
-The implementation keeps a ``bytearray`` and normalises trailing zero bytes
-away so that equality and ``nbytes`` reflect the logical set, not the
-allocation history.
+The backing store is a single Python big integer: CPython's arbitrary-
+precision ints do word-at-a-time boolean algebra in C, so ``|``/``&``/``&~``
+over whole result sets are one interpreter operation instead of a Python
+loop over bytes, and popcount is ``int.bit_count()``.  The serialized form
+is unchanged from the byte-array implementation this replaced: little-endian
+``N/8`` bytes, bit ``i % 8`` of byte ``i // 8``, trailing zero bytes trimmed
+so that equality and ``nbytes`` reflect the logical set, not the allocation
+history.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
-
-_POPCOUNT = bytes(bin(i).count("1") for i in range(256))
 
 
 class Bitmap:
@@ -29,30 +32,42 @@ class Bitmap:
     [1, 2, 9]
     """
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_n",)
 
     def __init__(self, ids: Iterable[int] = ()):
-        self._bits = bytearray()
+        # bulk kernel: stage bits in a bytearray, then one int.from_bytes —
+        # per-id ``n |= 1 << i`` would copy the whole integer every time
+        buf = bytearray()
         for i in ids:
-            self.add(i)
+            if i < 0:
+                raise ValueError(f"bitmap ids must be non-negative, got {i}")
+            byte = i >> 3
+            if byte >= len(buf):
+                buf.extend(b"\x00" * (byte + 1 - len(buf)))
+            buf[byte] |= 1 << (i & 7)
+        self._n = int.from_bytes(buf, "little")
 
     # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_ids(cls, ids: Iterable[int]) -> "Bitmap":
+        """Bulk-construct from an iterable of ids (no per-id method calls)."""
+        return cls(ids)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Bitmap":
         """Rebuild a bitmap from :meth:`to_bytes` output."""
         bm = cls()
-        bm._bits = bytearray(data)
-        bm._trim()
+        bm._n = int.from_bytes(data, "little")
         return bm
 
     def to_bytes(self) -> bytes:
         """Serialise to the paper's N/8-byte on-disk form."""
-        return bytes(self._bits)
+        return self._n.to_bytes((self._n.bit_length() + 7) // 8, "little")
 
     def copy(self) -> "Bitmap":
         bm = Bitmap()
-        bm._bits = bytearray(self._bits)
+        bm._n = self._n
         return bm
 
     # -- element operations --------------------------------------------------
@@ -60,114 +75,73 @@ class Bitmap:
     def add(self, i: int) -> None:
         if i < 0:
             raise ValueError(f"bitmap ids must be non-negative, got {i}")
-        byte, bit = divmod(i, 8)
-        if byte >= len(self._bits):
-            self._bits.extend(b"\x00" * (byte + 1 - len(self._bits)))
-        self._bits[byte] |= 1 << bit
+        self._n |= 1 << i
 
     def discard(self, i: int) -> None:
         if i < 0:
             return
-        byte, bit = divmod(i, 8)
-        if byte < len(self._bits):
-            self._bits[byte] &= ~(1 << bit) & 0xFF
-            self._trim()
+        self._n &= ~(1 << i)
 
     def __contains__(self, i: int) -> bool:
-        if i < 0:
-            return False
-        byte, bit = divmod(i, 8)
-        return byte < len(self._bits) and bool(self._bits[byte] & (1 << bit))
+        return i >= 0 and (self._n >> i) & 1 == 1
 
     # -- set algebra ---------------------------------------------------------
 
     def __or__(self, other: "Bitmap") -> "Bitmap":
-        short, long_ = sorted((self._bits, other._bits), key=len)
-        out = bytearray(long_)
-        for idx, byte in enumerate(short):
-            out[idx] |= byte
         result = Bitmap()
-        result._bits = out
+        result._n = self._n | other._n
         return result
 
     def __and__(self, other: "Bitmap") -> "Bitmap":
-        n = min(len(self._bits), len(other._bits))
-        out = bytearray(n)
-        for idx in range(n):
-            out[idx] = self._bits[idx] & other._bits[idx]
         result = Bitmap()
-        result._bits = out
-        result._trim()
+        result._n = self._n & other._n
         return result
 
     def __sub__(self, other: "Bitmap") -> "Bitmap":
-        out = bytearray(self._bits)
-        n = min(len(out), len(other._bits))
-        for idx in range(n):
-            out[idx] &= ~other._bits[idx] & 0xFF
         result = Bitmap()
-        result._bits = out
-        result._trim()
+        result._n = self._n & ~other._n
         return result
 
     def __ior__(self, other: "Bitmap") -> "Bitmap":
-        if len(other._bits) > len(self._bits):
-            self._bits.extend(b"\x00" * (len(other._bits) - len(self._bits)))
-        for idx, byte in enumerate(other._bits):
-            self._bits[idx] |= byte
+        self._n |= other._n
         return self
 
     def __iand__(self, other: "Bitmap") -> "Bitmap":
-        n = min(len(self._bits), len(other._bits))
-        del self._bits[n:]
-        for idx in range(n):
-            self._bits[idx] &= other._bits[idx]
-        self._trim()
+        self._n &= other._n
         return self
 
     def __isub__(self, other: "Bitmap") -> "Bitmap":
-        n = min(len(self._bits), len(other._bits))
-        for idx in range(n):
-            self._bits[idx] &= ~other._bits[idx] & 0xFF
-        self._trim()
+        self._n &= ~other._n
         return self
 
     def intersects(self, other: "Bitmap") -> bool:
-        n = min(len(self._bits), len(other._bits))
-        return any(self._bits[i] & other._bits[i] for i in range(n))
+        return (self._n & other._n) != 0
 
     def issubset(self, other: "Bitmap") -> bool:
-        if len(self._bits) > len(other._bits):
-            # any set bit beyond other's extent breaks the subset relation
-            if any(self._bits[len(other._bits):]):
-                return False
-        n = min(len(self._bits), len(other._bits))
-        return all((self._bits[i] & ~other._bits[i] & 0xFF) == 0 for i in range(n))
+        return (self._n & ~other._n) == 0
 
     # -- inspection ----------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(_POPCOUNT[b] for b in self._bits)
+        return self._n.bit_count()
 
     def __bool__(self) -> bool:
-        return any(self._bits)
+        return self._n != 0
 
     def __iter__(self) -> Iterator[int]:
-        for byte_idx, byte in enumerate(self._bits):
-            if not byte:
-                continue
-            base = byte_idx * 8
-            for bit in range(8):
-                if byte & (1 << bit):
-                    yield base + bit
+        n = self._n
+        while n:
+            lsb = n & -n
+            yield lsb.bit_length() - 1
+            n ^= lsb
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Bitmap):
             return NotImplemented
-        return self._bits == other._bits
+        return self._n == other._n
 
     def __hash__(self):
-        return hash(bytes(self._bits))
+        return hash(self._n)
 
     def __repr__(self) -> str:
         members = list(self)
@@ -179,18 +153,8 @@ class Bitmap:
     @property
     def nbytes(self) -> int:
         """Bytes the on-disk form occupies — the paper's N/8 figure."""
-        return len(self._bits)
+        return (self._n.bit_length() + 7) // 8
 
     def max_id(self) -> int:
         """Largest member, or -1 when empty."""
-        for byte_idx in range(len(self._bits) - 1, -1, -1):
-            byte = self._bits[byte_idx]
-            if byte:
-                return byte_idx * 8 + byte.bit_length() - 1
-        return -1
-
-    # -- internals -----------------------------------------------------------
-
-    def _trim(self) -> None:
-        while self._bits and self._bits[-1] == 0:
-            del self._bits[-1]
+        return self._n.bit_length() - 1

@@ -15,14 +15,18 @@ CORPUS = {
 }
 
 
-@pytest.fixture
-def engine():
+def build_engine(**kwargs):
     store = dict(CORPUS)
-    eng = CBAEngine(loader=lambda k: store.get(k, ""))
+    eng = CBAEngine(loader=lambda k: store.get(k, ""), **kwargs)
     eng.store = store  # test hook
     for i, (key, text) in enumerate(sorted(store.items())):
         eng.index_document(key, path=f"/{key}.txt", mtime=1.0)
     return eng
+
+
+@pytest.fixture
+def engine():
+    return build_engine()
 
 
 def keys_of(engine, bitmap):
@@ -104,10 +108,21 @@ class TestSearch:
         scanned = engine.counters.get("engine.docs_scanned")
         assert scanned <= 1  # only block holding "c" gets scanned
 
-    def test_stale_loader_content_is_consistent_with_scan(self, engine):
-        # content changed but not reindexed: the index still nominates the
-        # doc, the scan sees the new text — data inconsistency, §2.4 style
+    def test_stale_loader_content_is_consistent_with_scan(self):
+        # scan-path semantics (fast path off): content changed but not
+        # reindexed — the index still nominates the doc, the scan sees the
+        # new text — data inconsistency, §2.4 style
+        engine = build_engine(fast_path=False)
         engine.store["d"] = "totally different now"
+        assert keys_of(engine, engine.search(Term("fingerprint"))) == ["a", "b"]
+
+    def test_stale_loader_content_fast_path_answers_from_index(self, engine):
+        # fast-path semantics: term queries are answered from the index
+        # state, so unindexed content changes stay invisible until the next
+        # reindex — the other consistent reading of the §2.4 lazy policy
+        engine.store["d"] = "totally different now"
+        assert keys_of(engine, engine.search(Term("fingerprint"))) == ["a", "b", "d"]
+        engine.update_document("d", path="/d.txt", mtime=2.0)
         assert keys_of(engine, engine.search(Term("fingerprint"))) == ["a", "b"]
 
     def test_extract(self, engine):

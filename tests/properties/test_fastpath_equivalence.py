@@ -1,0 +1,157 @@
+"""Property tests for the query fast path.
+
+The fast path (planner normalisation + selectivity ordering, doc-level
+postings answering, verification memoisation, block-exact cache
+invalidation) is pure optimisation: for any corpus, any mutation history,
+and any query, an engine with ``fast_path=True`` must return exactly what
+the seed scan-everything engine — and the exhaustive ``naive_search`` —
+return.  These tests sample all of that, including the stopword corner
+where the postings path must refuse to answer (a stopword never reaches
+the index, but the scanner can still see it on candidate documents).
+
+Also here: the big-int :class:`Bitmap` kernels must serialise byte-for-byte
+identically to the bytearray implementation they replaced, since bitmaps
+are persisted (semantic-directory records, saved indexes).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cba import evaluator
+from repro.cba.engine import CBAEngine
+from repro.cba.queryast import And, Approx, Not, Or, Phrase, Term
+from repro.util.bitmap import Bitmap
+
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"]
+
+words = st.sampled_from(WORDS)
+
+documents = st.lists(st.lists(words, max_size=12).map(" ".join),
+                     min_size=0, max_size=12)
+
+leaves = st.one_of(
+    words.map(Term),
+    st.lists(words, min_size=2, max_size=2).map(Phrase),
+    words.map(lambda w: Approx(w, 1)),
+)
+
+queries = st.recursive(
+    leaves,
+    lambda kids: st.one_of(
+        st.lists(kids, min_size=2, max_size=3).map(And),
+        st.lists(kids, min_size=2, max_size=3).map(Or),
+        kids.map(Not),
+    ),
+    max_leaves=6)
+
+
+def build_engine(texts, num_blocks=4, fast_path=True, **kwargs):
+    store = dict(enumerate(texts))
+    engine = CBAEngine(loader=lambda k: store.get(k, ""),
+                       num_blocks=num_blocks, min_term_length=1,
+                       stopwords=set(), fast_path=fast_path, **kwargs)
+    engine.store = store
+    for key, text in store.items():
+        engine.index_document(key, path=f"/{key}", mtime=0.0)
+    return engine
+
+
+@settings(max_examples=80, deadline=None)
+@given(documents, queries, st.sampled_from([1, 3, 16]))
+def test_fast_path_search_equals_naive_scan(texts, query, num_blocks):
+    engine = build_engine(texts, num_blocks)
+    assert engine.search(query) == engine.naive_search(query)
+    # and again, through the warm cache/memo
+    assert engine.search(query) == engine.naive_search(query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents, queries, st.data())
+def test_fast_path_survives_mutations(texts, query, data):
+    """Interleave searches with index mutations: memoised verdicts and
+    surviving cache entries must never leak stale answers."""
+    engine = build_engine(texts)
+    assert engine.search(query) == engine.naive_search(query)
+    keys = sorted(engine.store)
+    if keys:
+        victim = data.draw(st.sampled_from(keys))
+        action = data.draw(st.sampled_from(["update", "remove", "add"]))
+        if action == "update":
+            engine.store[victim] = data.draw(
+                st.lists(words, max_size=8).map(" ".join))
+            engine.update_document(victim, path=f"/{victim}", mtime=1.0)
+        elif action == "remove":
+            del engine.store[victim]
+            engine.remove_document(victim)
+        else:
+            new_key = max(keys) + 1
+            engine.store[new_key] = data.draw(
+                st.lists(words, max_size=8).map(" ".join))
+            engine.index_document(new_key, path=f"/{new_key}", mtime=1.0)
+    assert engine.search(query) == engine.naive_search(query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents, queries, st.data())
+def test_fast_path_evaluate_equals_naive_scan(texts, query, data):
+    """The boolean evaluator (content-only queries, arbitrary scope) with
+    the planner on must agree with the exhaustive scan."""
+    engine = build_engine(texts)
+    universe = sorted(engine.all_docs())
+    scope = Bitmap(data.draw(st.sets(st.sampled_from(universe))
+                             if universe else st.just(set())))
+    got = evaluator.evaluate(query, engine,
+                             resolve_dirref=lambda uid: Bitmap(),
+                             scope=scope)
+    assert got == engine.naive_search(query, scope)
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents, queries, st.sampled_from([1, 3, 16]))
+def test_fast_path_matches_scan_path_with_stopwords(texts, query, num_blocks):
+    """With real stopwords/min-length the index cannot see every token and
+    ``naive_search`` is no longer the oracle — the seed scan-path engine is.
+    The fast path must reproduce it exactly (the answerability gate)."""
+    def build(fast_path):
+        store = dict(enumerate(texts))
+        engine = CBAEngine(loader=lambda k: store.get(k, ""),
+                           num_blocks=num_blocks, min_term_length=2,
+                           stopwords={"alpha", "eta"}, fast_path=fast_path)
+        for key in store:
+            engine.index_document(key, path=f"/{key}", mtime=0.0)
+        return engine
+
+    fast, slow = build(True), build(False)
+    assert fast.search(query) == slow.search(query)
+
+
+# ----------------------------------------------------------------------
+# Bitmap serialization: byte-identical to the seed bytearray kernels
+# ----------------------------------------------------------------------
+
+def _reference_to_bytes(ids):
+    """The seed implementation's serialised form: little-endian bit order
+    (bit ``i % 8`` of byte ``i // 8``), trailing zero bytes trimmed."""
+    buf = bytearray()
+    for i in ids:
+        byte, bit = divmod(i, 8)
+        if byte >= len(buf):
+            buf.extend(b"\x00" * (byte - len(buf) + 1))
+        buf[byte] |= 1 << bit
+    while buf and buf[-1] == 0:
+        del buf[-1]
+    return bytes(buf)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=4096)))
+def test_to_bytes_matches_seed_bytearray_form(ids):
+    assert Bitmap(ids).to_bytes() == _reference_to_bytes(ids)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=4096)))
+def test_from_bytes_round_trip(ids):
+    bm = Bitmap(ids)
+    assert Bitmap.from_bytes(bm.to_bytes()) == bm
+    assert sorted(Bitmap.from_bytes(bm.to_bytes())) == sorted(ids)
