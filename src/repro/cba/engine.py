@@ -159,10 +159,10 @@ class CBAEngine:
             text = self.loader(key)
         doc_id = self._next_doc_id
         self._next_doc_id += 1
-        self.index.add(doc_id, self._terms_of(text, path))
+        grew = self.index.add(doc_id, self._terms_of(text, path))
         self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
         self._by_key[key] = doc_id
-        self._note_mutation(doc_id)
+        self._note_mutation(doc_id, grew)
         self._stats.add("indexed")
         self._stats.add("indexed_bytes", len(text))
         return doc_id
@@ -174,7 +174,7 @@ class CBAEngine:
             raise KeyError(f"document not indexed: {key!r}")
         del self._docs[doc_id]
         self.index.remove(doc_id)
-        self._note_mutation(doc_id)
+        self._note_mutation(doc_id, grew=False)
         self._stats.add("removed")
         return doc_id
 
@@ -186,9 +186,9 @@ class CBAEngine:
             raise KeyError(f"document not indexed: {key!r}")
         if text is None:
             text = self.loader(key)
-        self.index.update(doc_id, self._terms_of(text, path))
+        grew = self.index.update(doc_id, self._terms_of(text, path))
         self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
-        self._note_mutation(doc_id)
+        self._note_mutation(doc_id, grew)
         self._stats.add("updated")
         return doc_id
 
@@ -243,7 +243,7 @@ class CBAEngine:
     # search
     # ------------------------------------------------------------------
 
-    def _note_mutation(self, doc_id: int) -> None:
+    def _note_mutation(self, doc_id: int, grew: bool = True) -> None:
         """Record that *doc_id*'s index entry changed (add/remove/update).
 
         Invalidation is block-exact rather than wholesale: a doc's postings
@@ -254,6 +254,13 @@ class CBAEngine:
         candidate).  Every other cached entry provably still holds and
         survives.  Must be called *after* the index mutation so (b) sees the
         new postings.
+
+        *grew* comes from the index mutation: block candidacy is monotone
+        in a block's term membership, so when the mutation added no term
+        its block lacked (pure removals, churn that re-adds the same
+        terms) no entry's candidate blocks can have gained the block, and
+        the per-entry recompute behind (b) — the expensive half of the
+        sweep — is skipped wholesale.
         """
         self._generation += 1
         self._dirty.add(doc_id)
@@ -265,7 +272,7 @@ class CBAEngine:
         for key in list(self._cache):
             entry = self._cache[key]
             if block in entry.blocks or \
-                    block in self.index.candidate_blocks(key[0]):
+                    (grew and block in self.index.candidate_blocks(key[0])):
                 del self._cache[key]
             else:
                 survivors += 1
@@ -304,30 +311,38 @@ class CBAEngine:
     def _indexable(self, word: str) -> bool:
         return len(word) >= self.min_term_length and word not in self.stopwords
 
-    def _postings_answerable(self, node: Node, in_and: bool = False) -> bool:
+    def _postings_answerable(self, node: Node, conj: bool = True) -> bool:
         """Can *node* be answered exactly from doc-level postings?
 
         ``Term`` leaves must be indexable — a stopword/short token never
         reaches the index, yet the scanner can still see it on candidate
-        docs nominated by *other* operands, so under ``Or``/``Not`` a
-        non-indexable leaf would diverge.  Under ``And`` it is harmless:
-        its empty block set forces both paths to the empty result.
-        ``Phrase``/``Approx`` need token order / fuzzy matching the postings
-        cannot express.
+        docs nominated by *other* operands, so in general a non-indexable
+        leaf diverges.  The one sound exemption is a leaf on the pure-And
+        spine from the root (*conj*): there its empty block nomination is
+        intersected into the root candidate set, so both paths reach the
+        empty result.  That argument breaks the moment any other operator
+        intervenes: under ``Or`` the union keeps other branches' candidate
+        blocks alive, and block collocation lets the scanner match a doc
+        through the non-indexable branch the postings path evaluated as
+        empty; under ``Not`` the divergence inverts into all-docs.  So
+        *conj* goes false through both, and a non-indexable leaf there
+        forces the scan path.  ``Phrase``/``Approx`` need token order /
+        fuzzy matching the postings cannot express.
         """
         if isinstance(node, Term):
-            return in_and or self._indexable(node.word)
+            return conj or self._indexable(node.word)
         if isinstance(node, FieldTerm):
             return True
         if isinstance(node, MatchAll):
             return True
         if isinstance(node, And):
-            return all(self._postings_answerable(c, in_and=True)
+            return all(self._postings_answerable(c, conj=conj)
                        for c in node.children)
         if isinstance(node, Or):
-            return all(self._postings_answerable(c) for c in node.children)
+            return all(self._postings_answerable(c, conj=False)
+                       for c in node.children)
         if isinstance(node, Not):
-            return self._postings_answerable(node.child)
+            return self._postings_answerable(node.child, conj=False)
         return False
 
     def _postings_eval(self, node: Node) -> Bitmap:

@@ -77,11 +77,20 @@ class GlimpseIndex:
     def block_of(self, doc_id: int) -> int:
         return doc_id % self.num_blocks
 
-    def add(self, doc_id: int, terms: Iterable[str]) -> None:
-        """Index a new document given its distinct terms."""
+    def add(self, doc_id: int, terms: Iterable[str]) -> bool:
+        """Index a new document given its distinct terms.
+
+        Returns True when the mutation may have *raised* some query's
+        block candidacy — the block gained a term it lacked, or went from
+        empty to occupied.  Block candidacy is monotone in those inputs
+        (``Not`` nominates every block without consulting its child), so
+        a False return lets the engine skip recomputing candidate blocks
+        for its cached results.
+        """
         if doc_id in self._doc_terms:
             raise ValueError(f"doc {doc_id} already indexed")
         block = self.block_of(doc_id)
+        grew = block not in self._all_blocks
         term_ids: Set[int] = set()
         counts = self._block_counts.setdefault(block, {})
         for term in terms:
@@ -91,7 +100,9 @@ class GlimpseIndex:
             posting = self._postings.get(tid)
             if posting is None:
                 posting = self._postings[tid] = Bitmap()
-            posting.add(block)
+            if block not in posting:
+                posting.add(block)
+                grew = True
         if self.track_doc_postings:
             for tid in term_ids:
                 docs = self._doc_postings.get(tid)
@@ -103,9 +114,14 @@ class GlimpseIndex:
         self._all_docs.add(doc_id)
         self._all_blocks.add(block)
         self._stats.add("docs_added")
+        return grew
 
-    def remove(self, doc_id: int) -> None:
-        """Withdraw a document, pruning postings that empty out."""
+    def remove(self, doc_id: int) -> bool:
+        """Withdraw a document, pruning postings that empty out.
+
+        Returns False always: a removal only clears block bits, and block
+        candidacy is monotone in them, so no query's candidacy can rise
+        (see :meth:`add`)."""
         term_ids = self._doc_terms.pop(doc_id, None)
         if term_ids is None:
             raise KeyError(f"doc {doc_id} not indexed")
@@ -134,11 +150,29 @@ class GlimpseIndex:
             self._all_blocks.discard(block)
         self._all_docs.discard(doc_id)
         self._stats.add("docs_removed")
+        return False
 
-    def update(self, doc_id: int, terms: Iterable[str]) -> None:
+    def update(self, doc_id: int, terms: Iterable[str]) -> bool:
+        """Re-tokenise a document in place.
+
+        Returns True when the update may have raised some query's block
+        candidacy (see :meth:`add`): the new version carries a term its
+        block lacked before the update.  Comparing against the
+        *pre-remove* state keeps churn cheap — a doc re-adding the terms
+        it already held (the common reindex case) reports False even when
+        it was its block's sole holder of some of them.
+        """
+        block = self.block_of(doc_id)
+        new_terms = list(terms)
+        pre = set()
+        for term in new_terms:
+            tid = self.lexicon.lookup(term)
+            if tid is not None and block in self._postings.get(tid, ()):
+                pre.add(term)
         self.remove(doc_id)
-        self.add(doc_id, terms)
+        self.add(doc_id, new_terms)
         self._stats.add("docs_updated")
+        return any(term not in pre for term in new_terms)
 
     def __contains__(self, doc_id: int) -> bool:
         return doc_id in self._doc_terms

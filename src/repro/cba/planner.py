@@ -8,8 +8,9 @@ CSI-style engines order conjunctive predicates by selectivity (PAPERS.md:
 *Robust and Scalable Content-and-Structure Indexing*):
 
 * :func:`normalize` flattens nested And/Or chains, removes duplicate
-  operands, drops neutral ``MatchAll`` elements, and cancels double
-  negation — all answer-preserving rewrites;
+  operands, and drops neutral ``MatchAll`` elements — all answer-preserving
+  rewrites (double negation is deliberately *preserved*: cancelling it
+  would change answers for non-indexable leaves, see :func:`normalize`);
 * :func:`order_children` sorts the operands of a conjunction so the most
   selective (fewest estimated matching documents) runs first, shrinking
   the candidate set before the expensive operands see it;

@@ -117,6 +117,48 @@ class TestInvalidation:
         assert eng.search(alpha) == eng.naive_search(alpha)
 
 
+class TestMutationSweepCost:
+    """Condition (b) of the invalidation sweep — recomputing candidate
+    blocks per cached entry — only runs when the mutation could have
+    raised some block's candidacy (a term its block lacked appeared)."""
+
+    def test_pure_removal_skips_candidate_recompute(self):
+        eng = build()
+        queries = [parse_query(q) for q in ("alpha", "beta", "gamma")]
+        for q in queries:
+            eng.search(q)
+        lookups = eng.counters.get("glimpse.block_lookups")
+        eng.remove_document("c")  # removals only clear block bits
+        assert eng.counters.get("glimpse.block_lookups") == lookups
+        assert eng.counters.get("engine.cache_survivals") == len(queries)
+        for q in queries:
+            assert eng.search(q) == eng.naive_search(q)
+        assert eng.counters.get("engine.cache_hits") == len(queries)
+
+    def test_same_terms_update_skips_candidate_recompute(self):
+        eng = build()
+        alpha = parse_query("alpha")
+        eng.search(alpha)
+        lookups = eng.counters.get("glimpse.block_lookups")
+        # same text, new mtime: churn that re-adds the block's own terms
+        eng.update_document("c", path="/c", mtime=1.0)
+        assert eng.counters.get("glimpse.block_lookups") == lookups
+        assert eng.search(alpha) == eng.naive_search(alpha)
+
+    def test_growing_update_still_recomputes_candidacy(self):
+        eng = build()
+        alpha = parse_query("alpha")
+        eng.search(alpha)
+        # doc "c" (its own block) gains "alpha": the entry's stored blocks
+        # miss that block, so only the recompute can catch it — must evict
+        eng.store["c"] = "delta alpha"
+        eng.update_document("c", path="/c", mtime=1.0)
+        assert eng.counters.get("engine.cache_hits") == 0
+        after = eng.search(alpha)
+        assert after == eng.naive_search(alpha)
+        assert eng.doc_id_of("c") in after
+
+
 class TestLRUDiscipline:
     def test_hit_moves_entry_to_mru(self):
         # capacity 2: A, B cached; hitting A makes B the LRU, so caching C

@@ -126,6 +126,74 @@ def test_fast_path_matches_scan_path_with_stopwords(texts, query, num_blocks):
 
 
 # ----------------------------------------------------------------------
+# Answerability-gate regressions: a non-indexable leaf is only postings-
+# safe on the pure-And spine from the root, where its empty block
+# nomination empties the whole candidate set.  Under Not the divergence
+# inverts into all-docs; under Or, block collocation lets the scanner
+# match through the branch the postings path evaluated as empty.
+# ----------------------------------------------------------------------
+
+def _stopword_engine(texts, fast_path, num_blocks=1):
+    store = dict(enumerate(texts))
+    engine = CBAEngine(loader=lambda k: store.get(k, ""),
+                       num_blocks=num_blocks, min_term_length=2,
+                       stopwords={"the"}, fast_path=fast_path)
+    for key in store:
+        engine.index_document(key, path=f"/{key}", mtime=0.0)
+    return engine
+
+
+def test_stopword_in_and_under_not_forces_scan():
+    # the postings path would see the stopword as an empty doc set, the
+    # And as empty and the Not as all docs — but the scanner sees
+    # stopwords in raw tokens and excludes docs holding both terms
+    texts = ["the quick apple", "banana orange", "apple banana"]
+    query = Not(And([Term("the"), Term("apple")]))
+    fast, slow = (_stopword_engine(texts, fp) for fp in (True, False))
+    got = fast.search(query)
+    assert got == slow.search(query) == slow.naive_search(query)
+    assert sorted(got) == [1, 2]
+    assert fast.counters.get("engine.postings_answers") == 0
+
+
+def test_stopword_and_branch_under_or_forces_scan():
+    # doc 0 shares a block with doc 1 (num_blocks=1), so the scanner
+    # reaches it through the "banana" branch's candidates and matches it
+    # through the stopword And branch
+    texts = ["the apple", "banana"]
+    query = Or([And([Term("the"), Term("apple")]), Term("banana")])
+    fast, slow = (_stopword_engine(texts, fp) for fp in (True, False))
+    got = fast.search(query)
+    assert got == slow.search(query)
+    assert sorted(got) == [0, 1]
+    assert fast.counters.get("engine.postings_answers") == 0
+
+
+def test_stopword_and_branch_under_or_under_not_forces_scan():
+    texts = ["the apple", "banana", "apple pear"]
+    query = Not(Or([And([Term("the"), Term("apple")]), Term("banana")]))
+    fast, slow = (_stopword_engine(texts, fp) for fp in (True, False))
+    got = fast.search(query)
+    assert got == slow.search(query) == slow.naive_search(query)
+    assert sorted(got) == [2]
+    assert fast.counters.get("engine.postings_answers") == 0
+
+
+def test_stopword_on_pure_and_spine_still_postings_answered():
+    # the sound exemption survives the fix: at top level the stopword's
+    # empty block nomination forces both paths to the empty result, so
+    # the postings path may (and does) answer without scanning
+    texts = ["the quick apple", "apple banana"]
+    query = And([Term("the"), Term("apple")])
+    fast, slow = (_stopword_engine(texts, fp) for fp in (True, False))
+    got = fast.search(query)
+    assert got == slow.search(query)
+    assert not got
+    assert fast.counters.get("engine.postings_answers") == 1
+    assert fast.counters.get("engine.docs_scanned") == 0
+
+
+# ----------------------------------------------------------------------
 # Bitmap serialization: byte-identical to the seed bytearray kernels
 # ----------------------------------------------------------------------
 
