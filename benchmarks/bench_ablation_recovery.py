@@ -2,13 +2,18 @@
 
 Real Glimpse persists its index files; recovery then costs whatever changed
 since the save rather than a full re-read of the corpus.  This ablation
-measures both recovery paths for the same HAC file system.
+measures both recovery paths for the same HAC file system, plus the two
+costs the write-ahead intent journal introduces: replaying an interrupted
+intent on restore, and the steady-state write amplification of journaling
+every multi-structure mutation.
 """
 
 import pytest
 
 from repro.bench.harness import BenchResult, report, time_call
 from repro.core.hacfs import HacFileSystem
+from repro.errors import DeviceCrashed
+from repro.vfs.blockdev import FaultPlan
 from repro.workloads.corpus import CorpusConfig, CorpusGenerator
 
 N_FILES = 600
@@ -61,3 +66,62 @@ def test_rebuild_vs_restore(benchmark, record_report):
     assert rebuild_s > restore_s * 1.3, (
         f"saved-index recovery should clearly win: rebuild {rebuild_s:.3f}s "
         f"vs restore {restore_s:.3f}s")
+
+
+@pytest.mark.benchmark(group="ablation-recovery")
+def test_journal_replay_and_write_amplification(benchmark, record_report):
+    def run():
+        # -- crash replay: restore with one interrupted intent in the wal --
+        crashed = build()
+        crashed.save_index()
+        dev = crashed.fs.device
+        dev.set_fault_plan(FaultPlan(crash_at=dev.record_write_index + 4))
+        try:
+            crashed.smkdir("/crashq", "data")
+        except DeviceCrashed:
+            pass
+        replay_s, revived = time_call(lambda: HacFileSystem.restore(crashed.fs))
+        rolled_back = len(revived.last_recovery.rolled_back)
+
+        clean = build()
+        clean.save_index()
+        clean_s, _ = time_call(lambda: HacFileSystem.restore(clean.fs))
+
+        # -- steady-state WAL write amplification over journaled mutations --
+        hac = build()
+        c, dev = hac.counters, hac.fs.device
+        begins0 = c.get("journal.begins")
+        pre0 = c.get("journal.preimages")
+        ops0 = dev.record_write_index
+        for i in range(30):
+            hac.mkdir(f"/m{i}")
+            hac.set_query("/q", "file" if i % 2 else "data OR file")
+        wal_writes = (c.get("journal.begins") - begins0) \
+            + (c.get("journal.preimages") - pre0)
+        total_ops = dev.record_write_index - ops0
+        # every committed wal record costs a write and a GC delete, and both
+        # consume a record-op index; the rest is payload
+        payload_writes = total_ops - 2 * wal_writes
+        amplification = total_ops / payload_writes
+        return (replay_s, clean_s, rolled_back, wal_writes, payload_writes,
+                amplification)
+
+    (replay_s, clean_s, rolled_back, wal_writes, payload_writes,
+     amplification) = benchmark.pedantic(run, rounds=1, iterations=1,
+                                         warmup_rounds=1)
+
+    results = [
+        BenchResult("restore with wal replay s", replay_s),
+        BenchResult("restore with empty wal s", clean_s),
+        BenchResult("intents rolled back", rolled_back),
+        BenchResult("wal record writes", wal_writes),
+        BenchResult("payload record writes", payload_writes),
+        BenchResult("record write amplification", amplification),
+    ]
+    record_report(report("Ablation G2: journal — replay cost and "
+                         "write amplification", results))
+
+    assert rolled_back == 1, "the interrupted intent must be rolled back"
+    assert amplification <= 4.0, (
+        f"WAL steady-state write amplification regressed: {amplification:.2f}x "
+        f"({wal_writes} wal writes for {payload_writes} payload writes)")

@@ -212,10 +212,17 @@ class ConsistencyManager:
         try:
             results = namespace.search(query_text)
         except RemoteUnavailable:
-            # degrade gracefully: keep this back-end's previous links
+            # degrade gracefully: keep this back-end's previous links, and
+            # flag them stale until the back-end answers again (breaker
+            # rejections land here too — CircuitOpen is a RemoteUnavailable)
             self._stats.add("remote_failures")
+            if ns_id not in state.stale_remote:
+                state.stale_remote[ns_id] = self.hacfs.clock.now
+                self._stats.add("stale_degradations")
             return {t.remote_id() for t in state.links.transient.values()
                     if t.is_remote and t.realm == ns_id}
+        if state.stale_remote.pop(ns_id, None) is not None:
+            self._stats.add("stale_recoveries")
         return {r.remote_id(ns_id) for r in results}
 
     # ------------------------------------------------------------------

@@ -55,6 +55,7 @@ class Finding(NamedTuple):
 def hacfsck(hacfs: "HacFileSystem", repair: bool = False) -> List[Finding]:
     """Audit (and optionally repair) every cross-structure invariant."""
     findings: List[Finding] = []
+    findings += _check_device(hacfs)
     findings += _check_map_vs_tree(hacfs)
     findings += _check_states(hacfs, repair)
     findings += _check_graph(hacfs)
@@ -69,6 +70,24 @@ def hacfsck(hacfs: "HacFileSystem", repair: bool = False) -> List[Finding]:
 
 def _live_dirs(hacfs) -> List[str]:
     return [dirpath for dirpath, _d, _f in walk(hacfs.fs, "/")]
+
+
+def _check_device(hacfs) -> List[Finding]:
+    """Record-store health: checksums and leftover write-ahead intents."""
+    out: List[Finding] = []
+    device = hacfs.fs.device
+    for key in sorted(device.record_keys()):
+        if not device.verify_record(key):
+            out.append(Finding("error", "corrupt-record", key,
+                               "record fails its checksum (torn write?)"))
+    journal = getattr(hacfs, "journal", None)
+    if journal is not None:
+        for intent in journal.pending():
+            out.append(Finding("error", "pending-intent",
+                               f"wal:{intent.seq}",
+                               f"incomplete {intent.op!r} intent on the "
+                               f"device — run restore() to roll it back"))
+    return out
 
 
 def _check_map_vs_tree(hacfs) -> List[Finding]:

@@ -24,9 +24,12 @@ re-evaluate queries: data consistency is settled at reindex time (§2.4).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
+    CorruptRecord,
+    DeviceCrashed,
     FileNotFound,
     InvalidArgument,
     NotASemanticDirectory,
@@ -49,6 +52,7 @@ from repro.cba.transducers import default_transducer
 from repro.core.consistency import ConsistencyManager
 from repro.core.datacon import ReindexScheduler
 from repro.core.depgraph import DependencyGraph
+from repro.core.journal import Journal
 from repro.core.links import Target
 from repro.core.scope import ScopeResolver
 from repro.core.semdir import MetaStore
@@ -73,6 +77,8 @@ class HacFileSystem:
         self._hac = self.counters.scoped("hac")
         self.dirmap = GlobalDirectoryMap()
         self.meta = MetaStore(self.fs.device)
+        self.journal = Journal(self.fs.device, self.counters)
+        self.last_recovery = None
         self.depgraph = DependencyGraph()
         self.engine = CBAEngine(loader=self._load_doc, num_blocks=num_blocks,
                                 transducer=default_transducer,
@@ -180,6 +186,59 @@ class HacFileSystem:
                             {str(u): p for u, p in self.dirmap.items()})
         self.meta.flush_aux("depgraph", self.depgraph.to_obj())
 
+    def _planned_path(self, path: str) -> str:
+        """Canonical path a not-yet-created entry will get (for intents)."""
+        norm = pathutil.normalize(path)
+        try:
+            parent = self._canonical_dir(pathutil.dirname(norm))
+        except Exception:
+            return norm
+        return pathutil.join(parent, pathutil.basename(norm))
+
+    @contextmanager
+    def _journaled(self, op: str, payload: Dict[str, object]):
+        """Run a multi-structure mutation under a write-ahead intent.
+
+        Commit on success; on a device crash, abandon (the wal stays on the
+        device for :meth:`restore` to roll back); on any soft failure (e.g.
+        a transient ENOSPC), roll back in process so the operation is fully
+        absent.  Nested uses (``smkdir`` → ``mkdir``) join the outer intent.
+        """
+        intent = self.journal.begin(op, payload)
+        if intent is None:
+            yield None
+            return
+        try:
+            yield intent
+        except DeviceCrashed:
+            # the device is frozen: nothing more can be written, so leave
+            # the wal in place — restore() rolls this intent back
+            self.journal.abandon(intent)
+            raise
+        except BaseException:
+            from repro.core.recovery import rollback_in_process
+
+            try:
+                rollback_in_process(self, intent)
+            except Exception:
+                # rollback itself failed (device died mid-rollback): the
+                # wal is still on the device, restore() finishes the job
+                if self.journal.active is intent:
+                    self.journal.abandon(intent)
+            raise
+        self.journal.commit(intent)
+
+    def reload_persisted(self) -> None:
+        """Reload every persisted structure from the device records
+        (after an in-process rollback rewrote them)."""
+        raw_map = self.meta.load_aux("globalmap") or {"0": "/"}
+        self.dirmap.load_snapshot({int(u): p for u, p in raw_map.items()})
+        raw_graph = self.meta.load_aux("depgraph")
+        self.depgraph = (DependencyGraph.from_obj(raw_graph)
+                         if raw_graph else DependencyGraph())
+        self.meta.reload_all()
+        self._clear_attrs()
+
     def _library_resolve(self, path: str) -> str:
         """The §4 interposition cost: HAC is a user-level library that
         resolves every path in the personal name space before the native
@@ -210,15 +269,16 @@ class HacFileSystem:
     def mkdir(self, path: str, mode: int = 0o755) -> StatResult:
         """Create a directory plus its HAC bookkeeping (map, state, node)."""
         self._hac.add("mkdir")
-        stat = self.fs.mkdir(path, mode=mode)
-        canon = self._canonical_dir(path)
-        uid = self.dirmap.register(canon)
-        self.depgraph.add_node(uid)
-        parent_uid = self.dirmap.uid_of(pathutil.dirname(canon))
-        if parent_uid is not None:
-            self.depgraph.set_hierarchy_edge(uid, parent_uid)
-        self.meta.create(uid)
-        self._persist_maps()
+        with self._journaled("mkdir", {"path": self._planned_path(path)}):
+            stat = self.fs.mkdir(path, mode=mode)
+            canon = self._canonical_dir(path)
+            uid = self.dirmap.register(canon)
+            self.depgraph.add_node(uid)
+            parent_uid = self.dirmap.uid_of(pathutil.dirname(canon))
+            if parent_uid is not None:
+                self.depgraph.set_hierarchy_edge(uid, parent_uid)
+            self.meta.create(uid)
+            self._persist_maps()
         return stat
 
     def makedirs(self, path: str, mode: int = 0o755) -> None:
@@ -232,15 +292,16 @@ class HacFileSystem:
     def rmdir(self, path: str) -> None:
         self._hac.add("rmdir")
         canon = self._canonical_dir(path)
-        self.fs.rmdir(canon)
-        uid = self.dirmap.uid_of(canon)
-        if uid is not None:
-            self.dirmap.unregister(canon)
-            self.depgraph.remove_node(uid)
-            self.meta.drop(uid)
-            self.semmounts.drop_uid(uid)
-        self._invalidate_attrs(canon)
-        self._persist_maps()
+        with self._journaled("rmdir", {"path": canon}):
+            self.fs.rmdir(canon)
+            uid = self.dirmap.uid_of(canon)
+            if uid is not None:
+                self.dirmap.unregister(canon)
+                self.depgraph.remove_node(uid)
+                self.meta.drop(uid)
+                self.semmounts.drop_uid(uid)
+            self._invalidate_attrs(canon)
+            self._persist_maps()
 
     def create(self, path: str, mode: int = 0o644) -> StatResult:
         """Create a file; HAC also primes the attribute cache (§4)."""
@@ -356,29 +417,32 @@ class HacFileSystem:
         old_parent = pathutil.dirname(pathutil.normalize(old))
         new_parent = pathutil.dirname(pathutil.normalize(new))
         origins = self._chain_uids(old_parent)
-        self.fs.rename(old, new)
-        if moving_dir:
-            new_canon = self._canonical_dir(new)
-            self.dirmap.rename_subtree(old_canon, new_canon)
-            moved_uid = self.dirmap.uid_of(new_canon)
-            new_parent_uid = self.dirmap.uid_of(pathutil.dirname(new_canon))
-            if moved_uid is not None and new_parent_uid is not None:
-                self.depgraph.set_hierarchy_edge(moved_uid, new_parent_uid)
-            self._clear_attrs()
-            self._persist_maps()
-            if moved_uid is not None:
-                origins.append(moved_uid)
-        else:
-            self._invalidate_attrs(pathutil.normalize(old))
-            self._invalidate_attrs(pathutil.normalize(new))
-            if isinstance(res.node, FileNode):
-                key = (res.fs.fsid, res.node.ino)
-                live = self.path_for_target(Target.local(*key))
-                if live is not None and not self.watches.on_file_moved(key, live):
-                    if key in self.engine:
-                        self.engine.rename_document(key, live)
-        origins.extend(self._chain_uids(new_parent))
-        self.consistency.on_scope_changed(origins)
+        payload = {"old": old_canon if moving_dir else pathutil.normalize(old),
+                   "new": self._planned_path(new), "dir": moving_dir}
+        with self._journaled("rename", payload):
+            self.fs.rename(old, new)
+            if moving_dir:
+                new_canon = self._canonical_dir(new)
+                self.dirmap.rename_subtree(old_canon, new_canon)
+                moved_uid = self.dirmap.uid_of(new_canon)
+                new_parent_uid = self.dirmap.uid_of(pathutil.dirname(new_canon))
+                if moved_uid is not None and new_parent_uid is not None:
+                    self.depgraph.set_hierarchy_edge(moved_uid, new_parent_uid)
+                self._clear_attrs()
+                self._persist_maps()
+                if moved_uid is not None:
+                    origins.append(moved_uid)
+            else:
+                self._invalidate_attrs(pathutil.normalize(old))
+                self._invalidate_attrs(pathutil.normalize(new))
+                if isinstance(res.node, FileNode):
+                    key = (res.fs.fsid, res.node.ino)
+                    live = self.path_for_target(Target.local(*key))
+                    if live is not None and not self.watches.on_file_moved(key, live):
+                        if key in self.engine:
+                            self.engine.rename_document(key, live)
+            origins.extend(self._chain_uids(new_parent))
+            self.consistency.on_scope_changed(origins)
 
     # -- pass-throughs with caching ------------------------------------------
 
@@ -456,9 +520,14 @@ class HacFileSystem:
     def smkdir(self, path: str, query: str) -> str:
         """Create a semantic directory: a real directory with a query."""
         self._hac.add("smkdir")
-        self.mkdir(path)
-        canon = self._canonical_dir(path)
-        self.set_query(canon, query)
+        # one intent for the whole operation — the nested mkdir/set_query
+        # intents join it, so a crash anywhere undoes the directory entirely
+        with self._journaled("smkdir",
+                             {"path": self._planned_path(path),
+                              "query": query}):
+            self.mkdir(path)
+            canon = self._canonical_dir(path)
+            self.set_query(canon, query)
         return canon
 
     def set_query(self, path: str, query: Optional[str]) -> None:
@@ -466,30 +535,33 @@ class HacFileSystem:
         self._hac.add("set_query")
         uid, state = self._state_of(path)
         canon = self.dirmap.path_of(uid)
-        if query is None:
-            # detach: drop transient links, keep permanent/prohibited
-            for name in list(state.links.transient):
-                entry = pathutil.join(canon, name)
-                if self.fs.islink(entry):
-                    self.fs.unlink(entry)
-                state.links.forget(name)
-            state.query = None
-            state.query_text = None
-            state.result_cache = state.result_cache.__class__()
-            self.depgraph.set_reference_edges(uid, [])
+        # parse before opening the intent: a syntax error is not a mutation
+        ast = None if query is None \
+            else parse_query(query, resolve_dir=self.dirmap.uid_of)
+        with self._journaled("set_query", {"path": canon, "query": query}):
+            if query is None:
+                # detach: drop transient links, keep permanent/prohibited
+                for name in list(state.links.transient):
+                    entry = pathutil.join(canon, name)
+                    if self.fs.islink(entry):
+                        self.fs.unlink(entry)
+                    state.links.forget(name)
+                state.query = None
+                state.query_text = None
+                state.result_cache = state.result_cache.__class__()
+                self.depgraph.set_reference_edges(uid, [])
+                self.meta.flush(uid)
+                self._persist_maps()
+                self.consistency.on_scope_changed([uid])
+                return
+            # validate/settle reference edges first: a cycle must leave the
+            # old query fully intact
+            self.depgraph.set_reference_edges(uid, set(ast.dir_refs()))
+            state.query = ast
+            state.query_text = query
             self.meta.flush(uid)
             self._persist_maps()
-            self.consistency.on_scope_changed([uid])
-            return
-        ast = parse_query(query, resolve_dir=self.dirmap.uid_of)
-        # validate/settle reference edges first: a cycle must leave the old
-        # query fully intact
-        self.depgraph.set_reference_edges(uid, set(ast.dir_refs()))
-        state.query = ast
-        state.query_text = query
-        self.meta.flush(uid)
-        self._persist_maps()
-        self.consistency.on_scope_changed([uid], include_origins=True)
+            self.consistency.on_scope_changed([uid], include_origins=True)
 
     def get_query(self, path: str) -> Optional[str]:
         """The directory's query, rendered with *current* directory paths —
@@ -519,6 +591,20 @@ class HacFileSystem:
     def prohibited(self, path: str) -> List[str]:
         _uid, state = self._state_of(path)
         return sorted(str(t) for t in state.links.prohibited)
+
+    def stale_remote(self, path: str) -> Dict[str, float]:
+        """Back-ends this directory is degrading for: namespace id → virtual
+        time since when its links are last-known-good rather than live."""
+        _uid, state = self._state_of(path)
+        return dict(state.stale_remote)
+
+    def stale_links(self, path: str) -> List[str]:
+        """Names of transient links whose back-end is currently unreachable
+        (the links still resolve — they are kept, just flagged stale)."""
+        _uid, state = self._state_of(path)
+        stale_ns = set(state.stale_remote)
+        return sorted(name for name, t in state.links.transient.items()
+                      if t.is_remote and t.realm in stale_ns)
 
     def classify(self, link_path: str) -> Optional[str]:
         """'permanent' | 'transient' | None for one directory entry."""
@@ -650,28 +736,31 @@ class HacFileSystem:
                 canon, doc.path, strict=False)
             if in_subtree or key in current_keys:
                 previous[key] = mtime
-        plan = self.engine.reindex(current, previous=previous)
-        # persist the compact file table (the paper's "compact representation
-        # of the list of all file names") so the index maps back to names
-        # after a crash; this is part of HAC's on-disk footprint
-        self.meta.flush_aux("filetable", {
-            str(doc.doc_id): [doc.path, doc.mtime]
-            for doc in (self.engine.doc_by_id(d) for d in self.engine.all_docs())
-            if doc is not None
-        })
+        with self._journaled("reindex", {"path": canon}):
+            plan = self.engine.reindex(current, previous=previous)
+            # persist the compact file table (the paper's "compact
+            # representation of the list of all file names") so the index maps
+            # back to names after a crash; part of HAC's on-disk footprint
+            self.meta.flush_aux("filetable", {
+                str(doc.doc_id): [doc.path, doc.mtime]
+                for doc in (self.engine.doc_by_id(d)
+                            for d in self.engine.all_docs())
+                if doc is not None
+            })
         return plan
 
     def ssync(self, path: str = "/") -> ReindexPlan:
         """Reindex *path* and re-evaluate every dependent directory —
         the paper's ``ssync`` command plus the §2.4 settle-everything pass."""
         self._hac.add("ssync")
-        plan = self.reindex(path)
         canon = self._canonical_dir(path)
-        if canon == "/":
-            self.consistency.reevaluate_all()
-        else:
-            self.consistency.on_scope_changed(self._chain_uids(canon),
-                                              include_origins=True)
+        with self._journaled("ssync", {"path": canon}):
+            plan = self.reindex(path)
+            if canon == "/":
+                self.consistency.reevaluate_all()
+            else:
+                self.consistency.on_scope_changed(self._chain_uids(canon),
+                                                  include_origins=True)
         return plan
 
     def fsck(self, repair: bool = False):
@@ -709,7 +798,8 @@ class HacFileSystem:
         from repro.util import serialization
 
         record = serialization.dumps(self.engine.to_obj())
-        self.fs.device.write_record("cbaindex", record)
+        with self._journaled("save_index", {}):
+            self.fs.device.write_record("cbaindex", record)
         return len(record)
 
     def metadata_bytes(self) -> int:
@@ -736,16 +826,37 @@ class HacFileSystem:
                 reuse_index: bool = True,
                 fast_path: bool = True) -> "HacFileSystem":
         """Rebuild a HAC file system from the records persisted on *fs*'s
-        device (crash recovery / reopen).  Link classifications and queries
-        come back verbatim; the content index is restored from the persisted
-        copy when one exists (see :meth:`save_index`) and brought current by
-        an incremental sync, or rebuilt from scratch otherwise."""
+        device (crash recovery / reopen).
+
+        The reopen doubles as the crash-recovery path: any fault plan on the
+        device is lifted (the reboot), incomplete journal intents are rolled
+        back at the record level, and the VFS tree is reconciled against the
+        healed records before anything is rebuilt — see
+        :mod:`repro.core.recovery`; the report lands in ``last_recovery``.
+
+        Link classifications and queries come back verbatim; the content
+        index is restored from the persisted copy when one exists (see
+        :meth:`save_index`) and brought current by an incremental sync, or
+        rebuilt from scratch when no record exists.  An *unreadable*
+        ``cbaindex`` record is neither: it raises
+        :class:`~repro.errors.CorruptRecord` (and counts
+        ``restore.index_corrupt``) instead of silently rebuilding — a
+        checksum failure means data loss the caller must acknowledge
+        (``reuse_index=False`` opts into the rebuild)."""
+        from repro.core.recovery import (RecoveryReport, recover_records,
+                                         undo_tree)
+
         hacfs = cls.__new__(cls)
         hacfs.counters = counters if counters is not None else Counters()
         hacfs.clock = clock if clock is not None else VirtualClock()
         hacfs.fs = fs
         hacfs._hac = hacfs.counters.scoped("hac")
+        fs.device.clear_faults()  # the reboot: the device comes back up
         hacfs.meta = MetaStore(fs.device)
+        hacfs.journal = Journal(fs.device, hacfs.counters)
+        report = RecoveryReport()
+        pending = recover_records(hacfs.journal, report)
+        hacfs.last_recovery = report
         raw_map = hacfs.meta.load_aux("globalmap") or {"0": "/"}
         hacfs.dirmap = GlobalDirectoryMap.restore(
             {int(u): p for u, p in raw_map.items()})
@@ -764,18 +875,29 @@ class HacFileSystem:
         hacfs.fdtable = FDTable()
         hacfs._loader_fds = FDTable()
         hacfs._fs_registry = {fs.fsid: (fs, "")}
-        saved = hacfs.meta.load_aux("cbaindex") if reuse_index else None
+        hacfs.meta.reload_all()
+        # tree-level undo needs map + states loaded, but not the engine
+        undo_tree(hacfs, pending, report)
+        restore_stats = hacfs.counters.scoped("restore")
+        saved = None
+        if reuse_index:
+            try:
+                saved = hacfs.meta.load_aux("cbaindex")
+            except CorruptRecord:
+                restore_stats.add("index_corrupt")
+                raise
         if saved is not None:
             hacfs.engine = CBAEngine.from_obj(
                 saved, loader=hacfs._load_doc,
                 transducer=default_transducer, counters=hacfs.counters,
                 fast_path=fast_path)
+            restore_stats.add("index_restored")
         else:
             hacfs.engine = CBAEngine(loader=hacfs._load_doc,
                                      transducer=default_transducer,
                                      counters=hacfs.counters,
                                      fast_path=fast_path)
-        hacfs.meta.reload_all()
+            restore_stats.add("index_rebuilds")
         # a saved index makes this incremental (Θ(changes), not Θ(corpus))
         hacfs.ssync("/")
         return hacfs

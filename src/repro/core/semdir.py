@@ -29,7 +29,8 @@ from repro.core.links import LinkSets
 class SemanticDirState:
     """Everything HAC knows about one directory beyond the VFS itself."""
 
-    __slots__ = ("uid", "query", "query_text", "links", "result_cache")
+    __slots__ = ("uid", "query", "query_text", "links", "result_cache",
+                 "stale_remote")
 
     def __init__(self, uid: int):
         self.uid = uid
@@ -41,6 +42,9 @@ class SemanticDirState:
         #: cached bitmap of local doc-ids in the last evaluated result
         #: (the paper's N/8-byte stored representation)
         self.result_cache = Bitmap()
+        #: namespace id → virtual time since when that back-end has been
+        #: unreachable; its links are last-known-good ("stale") while listed
+        self.stale_remote: Dict[str, float] = {}
 
     @property
     def is_semantic(self) -> bool:
@@ -53,6 +57,7 @@ class SemanticDirState:
             "query_text": self.query_text,
             "links": self.links.to_obj(),
             "result": self.result_cache.to_bytes(),
+            "stale": dict(self.stale_remote),
         }
 
     @classmethod
@@ -63,6 +68,9 @@ class SemanticDirState:
         state.query_text = obj["query_text"]
         state.links = LinkSets.from_obj(obj["links"])
         state.result_cache = Bitmap.from_bytes(obj["result"])
+        # records written before staleness tracking lack the field
+        state.stale_remote = {str(k): float(v)
+                              for k, v in obj.get("stale", {}).items()}
         return state
 
     def __repr__(self):

@@ -115,6 +115,27 @@ class NoSpace(VfsError):
     code = "ENOSPC"
 
 
+class DeviceCrashed(VfsError):
+    """The simulated device lost power (fault injection).
+
+    Once raised, every further write to the device fails the same way until
+    :meth:`repro.vfs.blockdev.BlockDevice.clear_faults` simulates the reboot.
+    """
+
+    code = "EIO"
+
+
+class CorruptRecord(VfsError):
+    """A persisted record failed its checksum (torn or bit-rotted write).
+
+    Carries the record key in :attr:`path`.  Raised instead of letting the
+    deserializer crash (or worse, silently succeed on garbage) so callers can
+    distinguish "record absent" from "record unreadable".
+    """
+
+    code = "EBADRECORD"
+
+
 # ---------------------------------------------------------------------------
 # HAC semantic-layer errors
 # ---------------------------------------------------------------------------
@@ -193,6 +214,16 @@ class RemoteUnavailable(HacError):
         if message:
             detail = f"{detail} ({message})"
         super().__init__(detail)
+
+
+class CircuitOpen(RemoteUnavailable):
+    """The per-backend circuit breaker is open: the call was rejected
+    locally without issuing an RPC.  Subclasses RemoteUnavailable so every
+    degradation path treats it as the back-end being down."""
+
+    def __init__(self, namespace: str, retry_at: float):
+        self.retry_at = retry_at
+        super().__init__(namespace, f"circuit open until t={retry_at:g}")
 
 
 class StaleHandle(HacError):

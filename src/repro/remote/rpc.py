@@ -3,24 +3,153 @@
 The paper's remote systems live across a network; ours live in the same
 process, so this transport makes the difference explicit and measurable:
 every call charges latency to the virtual clock, counts traffic, and can
-inject deterministic failures (for the failure-handling tests — a semantic
-directory whose remote back-end is down must degrade cleanly, not corrupt
-local state).
+inject failures (for the failure-handling tests — a semantic directory whose
+remote back-end is down must degrade cleanly, not corrupt local state).
 
-Failure injection is seeded and rate-based: with ``failure_rate=0.25`` and a
-fixed seed, the same calls fail on every run.
+Failure injection comes in two flavours:
+
+* **deterministic** — ``fail_on={call_index, ...}`` fails exactly those
+  attempts (0-based, counting every charged call on this transport), so a
+  test can say "the second search fails" without coupling to a seed or to
+  how many calls happen to precede it;
+* **rate-based** — ``failure_rate=0.25`` with a fixed seed fails the same
+  calls on every run; kept for benchmarks, where the aggregate rate is the
+  point and the exact indices are not.
+
+On top of the raw transport sit two resilience mechanisms, both driven by
+the virtual clock:
+
+* :class:`RetryPolicy` — exponential backoff with jitter and an overall
+  deadline; retried waits advance the virtual clock, and attempts/give-ups
+  are counted so benchmarks can report them;
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  failures the breaker opens and the transport rejects calls *locally*
+  (no latency charged, no back-end traffic) with
+  :class:`~repro.errors.CircuitOpen` until the cool-down elapses; the first
+  call after cool-down runs half-open — success closes the breaker, failure
+  re-opens it for another cool-down.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional, TypeVar
+from typing import Callable, FrozenSet, Iterable, Optional, TypeVar
 
-from repro.errors import RemoteUnavailable
+from repro.errors import CircuitOpen, RemoteUnavailable
 from repro.util.clock import VirtualClock
 from repro.util.stats import Counters
 
 T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Exponential backoff on the virtual clock.
+
+    :param max_attempts: total attempts (first try included).
+    :param base_delay: wait before the second attempt.
+    :param multiplier: backoff factor between consecutive waits.
+    :param max_delay: cap on a single wait.
+    :param deadline: overall budget (elapsed call time + next wait must fit),
+        or None for no deadline.
+    :param jitter: fraction of the wait added as seeded random jitter
+        (0.2 → up to +20%); the jitter rng is independent of the transport's
+        failure rng, so enabling retries never changes which calls fail.
+    """
+
+    def __init__(self, max_attempts: int = 3,
+                 base_delay: float = 0.05,
+                 multiplier: float = 2.0,
+                 max_delay: float = 2.0,
+                 deadline: Optional[float] = None,
+                 jitter: float = 0.0,
+                 seed: int = 0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= jitter:
+            raise ValueError("jitter must be non-negative")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.deadline = deadline
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def next_delay(self, attempt: int, elapsed: float) -> Optional[float]:
+        """Wait before attempt ``attempt + 1``, or None to give up.
+
+        :param attempt: 1-based index of the attempt that just failed.
+        :param elapsed: virtual time already spent inside this call.
+        """
+        if attempt >= self.max_attempts:
+            return None
+        delay = min(self.max_delay,
+                    self.base_delay * (self.multiplier ** (attempt - 1)))
+        if self.jitter:
+            delay += self._rng.random() * self.jitter * delay
+        if self.deadline is not None and elapsed + delay > self.deadline:
+            return None
+        return delay
+
+
+class CircuitBreaker:
+    """Per-backend breaker: closed → open → half-open on the virtual clock.
+
+    :param failure_threshold: consecutive failures that trip the breaker.
+    :param cooldown: virtual seconds the breaker stays open before letting
+        one probing call through (half-open).
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 cooldown: float = 30.0,
+                 clock: Optional[VirtualClock] = None,
+                 counters: Optional[Counters] = None,
+                 name: str = "breaker"):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.name = name
+        self._stats = (counters or Counters()).scoped(f"breaker.{name}")
+        self.state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+
+    @property
+    def retry_at(self) -> Optional[float]:
+        if self._opened_at is None:
+            return None
+        return self._opened_at + self.cooldown
+
+    def before_call(self) -> None:
+        """Reject locally (raise :class:`CircuitOpen`) while open."""
+        if self.state != "open":
+            return
+        assert self.clock is not None, "breaker used before a clock was bound"
+        if self.clock.now >= self.retry_at:
+            self.state = "half_open"
+            self._stats.add("half_opens")
+            return
+        self._stats.add("rejections")
+        raise CircuitOpen(self.name, self.retry_at)
+
+    def record_success(self) -> None:
+        if self.state != "closed":
+            self._stats.add("closes")
+        self.state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == "half_open" \
+                or self._consecutive_failures >= self.failure_threshold:
+            if self.state != "open":
+                self._stats.add("opens")
+            self.state = "open"
+            self._opened_at = self.clock.now if self.clock is not None else 0.0
+            self._consecutive_failures = 0
 
 
 class RpcTransport:
@@ -31,7 +160,10 @@ class RpcTransport:
                  latency: float = 0.05,
                  failure_rate: float = 0.0,
                  seed: int = 0,
-                 counters: Optional[Counters] = None):
+                 counters: Optional[Counters] = None,
+                 fail_on: Optional[Iterable[int]] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None):
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError("failure_rate must be within [0, 1]")
         self.name = name
@@ -40,16 +172,59 @@ class RpcTransport:
         self.failure_rate = failure_rate
         self._rng = random.Random(seed)
         self._stats = (counters or Counters()).scoped(f"rpc.{name}")
+        #: deterministic failure schedule; when set, rate mode is ignored
+        self.fail_on: Optional[FrozenSet[int]] = \
+            frozenset(fail_on) if fail_on is not None else None
+        self.retry = retry
+        self.breaker = breaker
+        if breaker is not None and breaker.clock is None:
+            breaker.clock = self.clock
+        #: 0-based index of the next charged attempt on this transport
+        self.call_index = 0
 
-    def call(self, what: str, fn: Callable[[], T]) -> T:
-        """Run *fn* as one remote call: latency, counters, maybe failure."""
+    def _attempt(self, what: str, fn: Callable[[], T]) -> T:
+        """One charged attempt: latency, counters, maybe injected failure."""
+        idx = self.call_index
+        self.call_index += 1
         self.clock.advance(self.latency)
         self._stats.add("calls")
         self._stats.add(f"calls.{what}")
-        if self.failure_rate and self._rng.random() < self.failure_rate:
+        if self.fail_on is not None:
+            if idx in self.fail_on:
+                self._stats.add("failures")
+                raise RemoteUnavailable(
+                    self.name, f"{what} failed (scheduled at call {idx})")
+        elif self.failure_rate and self._rng.random() < self.failure_rate:
             self._stats.add("failures")
             raise RemoteUnavailable(self.name, f"{what} failed (injected)")
         return fn()
+
+    def call(self, what: str, fn: Callable[[], T]) -> T:
+        """Run *fn* as one logical remote call, with whatever retry and
+        breaker protection this transport was built with."""
+        start = self.clock.now
+        attempt = 0
+        while True:
+            if self.breaker is not None:
+                self.breaker.before_call()
+            attempt += 1
+            try:
+                result = self._attempt(what, fn)
+            except RemoteUnavailable as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                delay = None if self.retry is None else \
+                    self.retry.next_delay(attempt, self.clock.now - start)
+                if delay is None:
+                    if self.retry is not None:
+                        self._stats.add("giveups")
+                    raise
+                self._stats.add("retries")
+                self.clock.advance(delay)
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
 
     @property
     def calls(self) -> float:

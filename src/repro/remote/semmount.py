@@ -122,6 +122,18 @@ class SemanticMountTable:
             if path is not None:
                 yield path, [ns.namespace_id for ns in namespaces]
 
+    def health(self) -> Dict[str, str]:
+        """Breaker state per mounted name space: ``closed`` (healthy),
+        ``open`` (rejecting locally), ``half_open`` (probing), or
+        ``unmonitored`` when the back-end has no breaker-equipped
+        transport."""
+        out: Dict[str, str] = {}
+        for ns_id, ns in sorted(self._by_id.items()):
+            transport = getattr(ns, "transport", None)
+            breaker = getattr(transport, "breaker", None)
+            out[ns_id] = breaker.state if breaker is not None else "unmonitored"
+        return out
+
     def is_mount_point(self, path: str) -> bool:
         uid = self._uid_of(path)
         return uid is not None and uid in self._mounts

@@ -125,14 +125,22 @@ class GlobalDirectoryMap:
         """A copy of the UID→path table, for the MetaStore."""
         return dict(self._uid_to_path)
 
+    def load_snapshot(self, snapshot: Dict[int, str]) -> None:
+        """Replace the whole table *in place* (rollback/recovery reload).
+
+        In place matters: other components hold this map's bound methods
+        (``uid_of``/``path_of``), so recovery must mutate the live object
+        rather than swap in a new one.
+        """
+        self._uid_to_path = dict(snapshot)
+        self._path_to_uid = {p: u for u, p in snapshot.items()}
+        if self.ROOT_UID not in self._uid_to_path:
+            self._uid_to_path[self.ROOT_UID] = "/"
+            self._path_to_uid["/"] = self.ROOT_UID
+        self._alloc = UidAllocator(start=max(self._uid_to_path) + 1)
+
     @classmethod
     def restore(cls, snapshot: Dict[int, str]) -> "GlobalDirectoryMap":
         gm = cls()
-        gm._uid_to_path = dict(snapshot)
-        gm._path_to_uid = {p: u for u, p in snapshot.items()}
-        if gm.ROOT_UID not in gm._uid_to_path:
-            gm._uid_to_path[gm.ROOT_UID] = "/"
-            gm._path_to_uid["/"] = gm.ROOT_UID
-        top = max(gm._uid_to_path)
-        gm._alloc = UidAllocator(start=top + 1)
+        gm.load_snapshot(snapshot)
         return gm

@@ -14,10 +14,50 @@ paper blames for the Makedir/Copy overheads in Table 1).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import zlib
+from typing import Callable, Dict, FrozenSet, Iterable, Optional
 
-from repro.errors import NoSpace
+from repro.errors import CorruptRecord, DeviceCrashed, NoSpace
 from repro.util.stats import Counters
+
+
+class FaultPlan:
+    """A deterministic schedule of device faults.
+
+    All indices count *record-store writes and deletes* since the device was
+    created (see :attr:`BlockDevice.record_write_index`), so a test can dial
+    in "crash at exactly the Nth persistence step" and get the same crash
+    point on every run — no seed/ordering coupling.
+
+    :param crash_at: the write with this index raises
+        :class:`~repro.errors.DeviceCrashed` *before* persisting anything,
+        and the device freezes (all later writes fail the same way).
+    :param tear_at: the write with this index persists a truncated payload
+        whose stored checksum still covers the full intended payload (a torn
+        sector), then crashes the device.  Reading the record afterwards
+        raises :class:`~repro.errors.CorruptRecord`.
+    :param enospc_at: write indices that raise a *transient*
+        :class:`~repro.errors.NoSpace` without persisting; later writes
+        succeed again (a full-then-freed disk).
+    :param enospc_allocs: data-block allocation indices (growths charged via
+        :meth:`BlockDevice.allocate`) that raise transient ``NoSpace``.
+    """
+
+    __slots__ = ("crash_at", "tear_at", "enospc_at", "enospc_allocs")
+
+    def __init__(self, crash_at: Optional[int] = None,
+                 tear_at: Optional[int] = None,
+                 enospc_at: Iterable[int] = (),
+                 enospc_allocs: Iterable[int] = ()):
+        self.crash_at = crash_at
+        self.tear_at = tear_at
+        self.enospc_at: FrozenSet[int] = frozenset(enospc_at)
+        self.enospc_allocs: FrozenSet[int] = frozenset(enospc_allocs)
+
+    def __repr__(self):
+        return (f"FaultPlan(crash_at={self.crash_at}, tear_at={self.tear_at}, "
+                f"enospc_at={sorted(self.enospc_at)}, "
+                f"enospc_allocs={sorted(self.enospc_allocs)})")
 
 
 class BlockDevice:
@@ -43,6 +83,42 @@ class BlockDevice:
         self._data_blocks = 0
         self._meta_bytes = 0
         self._records: Dict[str, bytes] = {}
+        #: per-record checksums; a mismatch on read means a torn write
+        self._sums: Dict[str, int] = {}
+        self.fault_plan: Optional[FaultPlan] = None
+        self._crashed = False
+        #: monotonically increasing index of record writes/deletes
+        self.record_write_index = 0
+        #: monotonically increasing index of data-block growths
+        self.alloc_index = 0
+        #: pre-write hook: callback(key, old_bytes_or_None) fired before a
+        #: record write or delete persists — the intent journal's capture
+        #: point.  The hook may itself write records (recursion is the
+        #: hook's problem to avoid).
+        self.record_hook: Optional[Callable[[str, Optional[bytes]], None]] = None
+
+    # -- fault injection -------------------------------------------------------
+
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        self.fault_plan = plan
+
+    def clear_faults(self) -> None:
+        """Simulate the reboot: lift the fault plan and un-freeze writes."""
+        self.fault_plan = None
+        self._crashed = False
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def _fail_if_crashed(self, key: str) -> None:
+        if self._crashed:
+            raise DeviceCrashed(key, "device is down (injected crash)")
+
+    def _next_write_index(self) -> int:
+        idx = self.record_write_index
+        self.record_write_index += 1
+        return idx
 
     # -- capacity ------------------------------------------------------------
 
@@ -80,6 +156,12 @@ class BlockDevice:
         old_blocks = self._blocks_for(old_nbytes)
         new_blocks = self._blocks_for(new_nbytes)
         if new_blocks > old_blocks:
+            plan = self.fault_plan
+            idx = self.alloc_index
+            self.alloc_index += 1
+            if plan is not None and idx in plan.enospc_allocs:
+                self._io.add("injected_enospc")
+                raise NoSpace(path, "device full (injected)")
             self._check_capacity(new_blocks - old_blocks, path)
         self._data_blocks += new_blocks - old_blocks
 
@@ -94,6 +176,32 @@ class BlockDevice:
     # -- record store (used by the HAC MetaStore) -------------------------------
 
     def write_record(self, key: str, data: bytes) -> None:
+        self._fail_if_crashed(key)
+        if self.record_hook is not None:
+            # the journal captures the pre-image (durably) before the write
+            self.record_hook(key, self._records.get(key))
+        idx = self._next_write_index()
+        plan = self.fault_plan
+        if plan is not None:
+            if idx in plan.enospc_at:
+                self._io.add("injected_enospc")
+                raise NoSpace(key, "device full (injected)")
+            if plan.crash_at is not None and idx == plan.crash_at:
+                self._crashed = True
+                self._io.add("injected_crashes")
+                raise DeviceCrashed(key, f"power lost at record write {idx}")
+            if plan.tear_at is not None and idx == plan.tear_at:
+                # persist a torn payload, but record the checksum of what
+                # *should* have been written — exactly what a half-flushed
+                # sector plus an out-of-band checksum looks like
+                torn = data[:max(0, len(data) // 2)]
+                self._store(key, torn, checksum=zlib.crc32(data))
+                self._crashed = True
+                self._io.add("injected_tears")
+                raise DeviceCrashed(key, f"write {idx} torn; power lost")
+        self._store(key, data, checksum=zlib.crc32(data))
+
+    def _store(self, key: str, data: bytes, checksum: int) -> None:
         old = len(self._records.get(key, b""))
         growth = self._blocks_for(self._meta_bytes - old + len(data)) \
             - self._blocks_for(self._meta_bytes)
@@ -101,18 +209,48 @@ class BlockDevice:
             self._check_capacity(growth, key)
         self._meta_bytes += len(data) - old
         self._records[key] = data
+        self._sums[key] = checksum
         self.charge_meta_write()
         self.charge_write(len(data))
 
     def read_record(self, key: str) -> Optional[bytes]:
         data = self._records.get(key)
         self.charge_meta_read()
-        if data is not None:
-            self.charge_read(len(data))
+        if data is None:
+            return None
+        self.charge_read(len(data))
+        if self._sums.get(key) != zlib.crc32(data):
+            self._io.add("checksum_failures")
+            raise CorruptRecord(key, "record checksum mismatch")
         return data
 
+    def verify_record(self, key: str) -> bool:
+        """True when the record exists and passes its checksum (no charge)."""
+        data = self._records.get(key)
+        return data is not None and self._sums.get(key) == zlib.crc32(data)
+
+    def corrupt_record(self, key: str) -> bool:
+        """Test helper: flip the stored payload under an unchanged checksum."""
+        data = self._records.get(key)
+        if data is None:
+            return False
+        self._records[key] = bytes(b ^ 0xFF for b in data[:1]) + data[1:]
+        return True
+
     def delete_record(self, key: str) -> bool:
+        self._fail_if_crashed(key)
+        old = self._records.get(key)
+        if self.record_hook is not None:
+            self.record_hook(key, old)
+        idx = self._next_write_index()
+        plan = self.fault_plan
+        if plan is not None and plan.crash_at is not None \
+                and idx == plan.crash_at:
+            self._crashed = True
+            self._io.add("injected_crashes")
+            raise DeviceCrashed(key, f"power lost at record delete {idx}")
         data = self._records.pop(key, None)
+        self._sums.pop(key, None)
         self.charge_meta_write()
         if data is None:
             return False

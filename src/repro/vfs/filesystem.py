@@ -307,6 +307,7 @@ class FileSystem:
         self._ops.add("write_file")
         if isinstance(data, str):
             raise InvalidArgument(path, "write_file takes bytes")
+        created = False
         try:
             res = self.resolve(path)
             node = res.node
@@ -315,15 +316,24 @@ class FileSystem:
                 raise IsADirectory(path)
         except FileNotFound:
             self.create(path)
+            created = True
             res = self.resolve(path)
             node, fs = res.node, res.fs
         assert isinstance(node, FileNode)
         old = len(node.data)
+        new_len = old + len(data) if append else len(data)
+        # allocate before touching the bytes: ENOSPC must leave the old
+        # content intact, and must not leave behind a file this call created
+        try:
+            fs.device.allocate(old, new_len, path)
+        except Exception:
+            if created:
+                self.unlink(path)
+            raise
         if append:
             node.data.extend(data)
         else:
             node.data[:] = data
-        fs.device.allocate(old, len(node.data), path)
         fs.device.charge_write(len(data))
         node.attrs.size = len(node.data)
         node.attrs.mtime = self.clock.now
@@ -351,8 +361,8 @@ class FileSystem:
             raise InvalidArgument(path, "not a regular file")
         assert isinstance(node, FileNode)
         old = len(node.data)
-        node.resize(size)
         res.fs.device.allocate(old, size, path)
+        node.resize(size)
         node.attrs.mtime = self.clock.now
         self._notify("write", path=pathutil.normalize(path), fs=res.fs, node=node)
 
@@ -580,8 +590,8 @@ class FileSystem:
         old = len(node.data)
         end = of.offset + len(data)
         if end > old:
-            node.resize(end)
             of.fs.device.allocate(old, end)
+            node.resize(end)
         node.data[of.offset:end] = data
         of.offset = end
         node.attrs.size = len(node.data)

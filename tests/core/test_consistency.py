@@ -173,6 +173,7 @@ class TestDirRefQueries:
 
         with pytest.raises(UnknownDirectoryReference):
             populated.smkdir("/bad", "/no/such/dir")
-        # smkdir made the directory before the query failed: it stays plain
-        assert populated.isdir("/bad")
-        assert not populated.is_semantic("/bad")
+        # smkdir is journaled: the failed operation is rolled back whole,
+        # so the directory it created on the way is gone again
+        assert not populated.exists("/bad")
+        assert not any(f.severity == "error" for f in populated.fsck())

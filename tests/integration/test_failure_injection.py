@@ -104,3 +104,89 @@ class TestDeviceFull:
             hac.write_file("/big", b"x" * (512 * 64))
         assert hac.read_file("/ok") == b"fits"
         hac.write_file("/ok2", b"still works")
+
+
+class TestStaleDegradation:
+    """The PR 2 acceptance scenario: a back-end failing half its calls must
+    degrade queries to last-known-good links flagged stale — no exception,
+    no corruption — and the breaker must stop issuing RPCs once tripped
+    until its cool-down elapses on the virtual clock."""
+
+    @pytest.fixture
+    def degraded_world(self, populated):
+        from repro.remote.rpc import CircuitBreaker
+
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=1000.0,
+                                 counters=populated.counters, name="digilib")
+        transport = RpcTransport("digilib", clock=populated.clock,
+                                 counters=populated.counters, seed=5,
+                                 breaker=breaker)
+        lib = SimulatedSearchService("digilib", documents={
+            "fp-survey": "fingerprint survey paper",
+            "fp-new": "new fingerprint techniques",
+        }, transport=transport)
+        populated.mkdir("/lib")
+        populated.smount("/lib", lib)
+        populated.smkdir("/fp", "fingerprint")   # healthy first sync
+        transport.failure_rate = 0.5
+        return populated, transport, breaker
+
+    @staticmethod
+    def remote_links(hac):
+        return {n for n, (_c, t) in hac.links("/fp").items()
+                if t.startswith("digilib")}
+
+    def test_degrades_to_stale_links_and_breaker_trips(self, degraded_world):
+        hac, transport, breaker = degraded_world
+        good = self.remote_links(hac)
+        assert len(good) == 2 and hac.stale_remote("/fp") == {}
+
+        for _ in range(50):                      # never raises to the caller
+            hac.clock.tick()
+            hac.ssync("/")
+            if breaker.state == "open":
+                break
+        assert breaker.state == "open"
+
+        # while open: no RPC issued, links held, flagged stale
+        calls_before = transport.calls
+        hac.clock.tick()
+        hac.ssync("/")
+        assert transport.calls == calls_before
+        assert self.remote_links(hac) == good
+        assert "digilib" in hac.stale_remote("/fp")
+        assert set(hac.stale_links("/fp")) == good
+        assert hac.counters.get("breaker.digilib.rejections") >= 1
+        assert [f for f in hac.fsck() if f.severity == "error"] == []
+
+    def test_cooldown_and_recovery_clear_the_stale_flag(self, degraded_world):
+        hac, transport, breaker = degraded_world
+        good = self.remote_links(hac)
+        for _ in range(50):
+            hac.clock.tick()
+            hac.ssync("/")
+            if breaker.state == "open":
+                break
+        assert breaker.state == "open"
+
+        hac.clock.advance(1000.0)                # cool-down elapses
+        transport.failure_rate = 0.0             # back-end healthy again
+        calls_before = transport.calls
+        hac.clock.tick()
+        hac.ssync("/")
+        assert transport.calls > calls_before    # probe went through
+        assert breaker.state == "closed"
+        assert hac.stale_remote("/fp") == {}
+        assert hac.stale_links("/fp") == []
+        assert self.remote_links(hac) == good
+        assert hac.counters.get("consistency.stale_recoveries") >= 1
+
+    def test_mount_health_reflects_breaker_state(self, degraded_world):
+        hac, transport, breaker = degraded_world
+        assert hac.semmounts.health() == {"digilib": "closed"}
+        for _ in range(50):
+            hac.clock.tick()
+            hac.ssync("/")
+            if breaker.state == "open":
+                break
+        assert hac.semmounts.health() == {"digilib": "open"}

@@ -58,3 +58,184 @@ class TestTransport:
         with pytest.raises(RemoteUnavailable):
             rpc.call("op", lambda: None)
         assert counters.get("rpc.svc.failures") == 1
+
+
+class TestFailOnSchedule:
+    def test_exact_indices_fail(self):
+        rpc = RpcTransport("svc", fail_on={1, 3})
+        outcomes = []
+        for i in range(5):
+            try:
+                rpc.call("op", lambda: i)
+                outcomes.append("ok")
+            except RemoteUnavailable:
+                outcomes.append("fail")
+        assert outcomes == ["ok", "fail", "ok", "fail", "ok"]
+
+    def test_schedule_overrides_rate_mode(self):
+        rpc = RpcTransport("svc", failure_rate=1.0, fail_on=set())
+        for i in range(10):
+            assert rpc.call("op", lambda: i) == i
+
+    def test_scheduled_failures_are_counted(self):
+        counters = Counters()
+        rpc = RpcTransport("svc", fail_on={0}, counters=counters)
+        with pytest.raises(RemoteUnavailable):
+            rpc.call("op", lambda: None)
+        assert counters.get("rpc.svc.failures") == 1
+
+
+class TestRetryPolicy:
+    def test_retry_masks_a_transient_failure(self):
+        from repro.remote.rpc import RetryPolicy
+
+        counters = Counters()
+        rpc = RpcTransport("svc", fail_on={0}, counters=counters,
+                           retry=RetryPolicy(max_attempts=3))
+        assert rpc.call("op", lambda: "v") == "v"
+        assert counters.get("rpc.svc.calls") == 2
+        assert counters.get("rpc.svc.retries") == 1
+        assert counters.get("rpc.svc.giveups") == 0
+
+    def test_backoff_advances_the_virtual_clock(self):
+        from repro.remote.rpc import RetryPolicy
+
+        clock = VirtualClock()
+        rpc = RpcTransport("svc", clock=clock, latency=0.1,
+                           fail_on={0, 1},
+                           retry=RetryPolicy(max_attempts=3, base_delay=0.05,
+                                             multiplier=2.0))
+        assert rpc.call("op", lambda: "v") == "v"
+        # three attempts at 0.1 each, plus waits 0.05 and 0.10
+        assert clock.now == pytest.approx(0.45)
+
+    def test_gives_up_after_max_attempts(self):
+        from repro.remote.rpc import RetryPolicy
+
+        counters = Counters()
+        rpc = RpcTransport("svc", failure_rate=1.0, counters=counters,
+                           retry=RetryPolicy(max_attempts=3))
+        with pytest.raises(RemoteUnavailable):
+            rpc.call("op", lambda: None)
+        assert counters.get("rpc.svc.calls") == 3
+        assert counters.get("rpc.svc.giveups") == 1
+
+    def test_deadline_stops_retrying_early(self):
+        from repro.remote.rpc import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0,
+                             multiplier=1.0, deadline=2.5)
+        assert policy.next_delay(1, elapsed=0.0) == 1.0
+        assert policy.next_delay(2, elapsed=1.5) == 1.0
+        assert policy.next_delay(3, elapsed=3.0) is None  # budget exhausted
+
+    def test_exhausted_attempts_return_none(self):
+        from repro.remote.rpc import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.next_delay(2, elapsed=0.0) is None
+
+    def test_jitter_is_seeded_and_bounded(self):
+        from repro.remote.rpc import RetryPolicy
+
+        def delays(seed):
+            policy = RetryPolicy(max_attempts=5, base_delay=1.0,
+                                 multiplier=1.0, jitter=0.2, seed=seed)
+            return [policy.next_delay(a, 0.0) for a in range(1, 5)]
+
+        assert delays(3) == delays(3)
+        assert all(1.0 <= d <= 1.2 for d in delays(3))
+
+    def test_retries_do_not_change_which_calls_fail(self):
+        # the jitter rng is independent of the transport's failure rng
+        from repro.remote.rpc import RetryPolicy
+
+        def failure_pattern(retry):
+            rpc = RpcTransport("svc", failure_rate=0.5, seed=11, retry=retry)
+            pattern = []
+            for i in range(12):
+                try:
+                    rpc.call("op", lambda: i)
+                    pattern.append(False)
+                except RemoteUnavailable:
+                    pattern.append(True)
+            return [rpc.call_index, pattern.count(True) > 0]
+
+        plain = failure_pattern(None)
+        jittered = failure_pattern(RetryPolicy(max_attempts=1, jitter=0.5))
+        assert plain == jittered
+
+
+class TestCircuitBreaker:
+    def _tripped(self, threshold=3, cooldown=100.0, counters=None):
+        from repro.remote.rpc import CircuitBreaker
+
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 cooldown=cooldown, counters=counters,
+                                 name="svc")
+        rpc = RpcTransport("svc", clock=clock, failure_rate=1.0,
+                           counters=counters, breaker=breaker)
+        for _ in range(threshold):
+            with pytest.raises(RemoteUnavailable):
+                rpc.call("op", lambda: None)
+        return rpc, breaker, clock
+
+    def test_trips_after_consecutive_failures(self):
+        rpc, breaker, _clock = self._tripped(threshold=3)
+        assert breaker.state == "open"
+        assert breaker.retry_at is not None
+
+    def test_open_rejects_locally_without_charging(self):
+        from repro.errors import CircuitOpen
+
+        counters = Counters()
+        rpc, breaker, clock = self._tripped(counters=counters)
+        calls_before, now_before = rpc.calls, clock.now
+        with pytest.raises(CircuitOpen):
+            rpc.call("op", lambda: None)
+        assert rpc.calls == calls_before      # no back-end traffic
+        assert clock.now == now_before        # no latency charged
+        assert counters.get("breaker.svc.rejections") == 1
+
+    def test_circuit_open_is_a_remote_unavailable(self):
+        from repro.errors import CircuitOpen
+
+        assert issubclass(CircuitOpen, RemoteUnavailable)
+
+    def test_half_open_probe_success_closes(self):
+        rpc, breaker, clock = self._tripped(cooldown=100.0)
+        clock.advance(100.0)
+        rpc.failure_rate = 0.0
+        assert rpc.call("op", lambda: "back") == "back"
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        rpc, breaker, clock = self._tripped(cooldown=100.0)
+        clock.advance(100.0)
+        with pytest.raises(RemoteUnavailable):
+            rpc.call("op", lambda: None)      # probe runs, fails
+        assert breaker.state == "open"
+        assert breaker.retry_at == pytest.approx(clock.now + 100.0)
+
+    def test_interleaved_successes_keep_it_closed(self):
+        from repro.remote.rpc import CircuitBreaker
+
+        breaker = CircuitBreaker(failure_threshold=3, clock=VirtualClock())
+        rpc = RpcTransport("svc", fail_on={0, 2, 4, 6}, breaker=breaker)
+        for i in range(8):
+            try:
+                rpc.call("op", lambda: i)
+            except RemoteUnavailable:
+                pass
+        assert breaker.state == "closed"
+
+    def test_trip_and_close_are_counted(self):
+        counters = Counters()
+        rpc, breaker, clock = self._tripped(counters=counters)
+        clock.advance(100.0)
+        rpc.failure_rate = 0.0
+        rpc.call("op", lambda: None)
+        assert counters.get("breaker.svc.opens") == 1
+        assert counters.get("breaker.svc.half_opens") == 1
+        assert counters.get("breaker.svc.closes") == 1

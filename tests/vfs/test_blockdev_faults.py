@@ -1,0 +1,143 @@
+"""Deterministic fault plane of the simulated block device."""
+
+import pytest
+
+from repro.errors import CorruptRecord, DeviceCrashed, NoSpace
+from repro.vfs.blockdev import BlockDevice, FaultPlan
+
+
+class TestCrashAt:
+    def test_crash_at_index_prevents_the_write(self):
+        dev = BlockDevice()
+        dev.write_record("a", b"one")          # index 0
+        dev.set_fault_plan(FaultPlan(crash_at=1))
+        with pytest.raises(DeviceCrashed):
+            dev.write_record("b", b"two")      # index 1 → crash
+        assert dev.read_record("a") == b"one"
+        assert dev.read_record("b") is None
+
+    def test_device_freezes_after_crash(self):
+        dev = BlockDevice()
+        dev.set_fault_plan(FaultPlan(crash_at=0))
+        with pytest.raises(DeviceCrashed):
+            dev.write_record("a", b"x")
+        assert dev.crashed
+        with pytest.raises(DeviceCrashed):
+            dev.write_record("c", b"y")        # any later write fails too
+        with pytest.raises(DeviceCrashed):
+            dev.delete_record("a")
+
+    def test_clear_faults_is_the_reboot(self):
+        dev = BlockDevice()
+        dev.set_fault_plan(FaultPlan(crash_at=0))
+        with pytest.raises(DeviceCrashed):
+            dev.write_record("a", b"x")
+        dev.clear_faults()
+        dev.write_record("a", b"x")
+        assert dev.read_record("a") == b"x"
+
+    def test_crash_applies_to_deletes_too(self):
+        dev = BlockDevice()
+        dev.write_record("a", b"one")          # index 0
+        dev.set_fault_plan(FaultPlan(crash_at=1))
+        with pytest.raises(DeviceCrashed):
+            dev.delete_record("a")             # index 1 → crash
+        dev.clear_faults()
+        assert dev.read_record("a") == b"one"  # delete did not happen
+
+    def test_same_plan_same_crash_point(self):
+        def run():
+            dev = BlockDevice()
+            dev.set_fault_plan(FaultPlan(crash_at=2))
+            written = []
+            try:
+                for i in range(10):
+                    dev.write_record(f"k{i}", b"v")
+                    written.append(i)
+            except DeviceCrashed:
+                pass
+            return written
+
+        assert run() == run() == [0, 1]
+
+
+class TestTearAt:
+    def test_torn_write_persists_garbage_and_crashes(self):
+        dev = BlockDevice()
+        dev.set_fault_plan(FaultPlan(tear_at=0))
+        with pytest.raises(DeviceCrashed):
+            dev.write_record("rec", b"full payload bytes")
+        dev.clear_faults()
+        with pytest.raises(CorruptRecord):
+            dev.read_record("rec")
+        assert dev.counters.get("blockdev.checksum_failures") == 1
+
+    def test_verify_record_flags_the_tear_without_raising(self):
+        dev = BlockDevice()
+        dev.write_record("good", b"ok")
+        dev.set_fault_plan(FaultPlan(tear_at=1))
+        with pytest.raises(DeviceCrashed):
+            dev.write_record("bad", b"some payload")
+        dev.clear_faults()
+        assert dev.verify_record("good")
+        assert not dev.verify_record("bad")
+        assert not dev.verify_record("missing")
+
+    def test_corrupt_record_helper(self):
+        dev = BlockDevice()
+        dev.write_record("rec", b"payload")
+        assert dev.corrupt_record("rec")
+        with pytest.raises(CorruptRecord):
+            dev.read_record("rec")
+        assert not dev.corrupt_record("nope")
+
+
+class TestTransientEnospc:
+    def test_enospc_at_fails_once_then_recovers(self):
+        dev = BlockDevice()
+        dev.set_fault_plan(FaultPlan(enospc_at={0}))
+        with pytest.raises(NoSpace):
+            dev.write_record("a", b"x")
+        assert not dev.crashed
+        dev.write_record("a", b"x")            # index 1: fine again
+        assert dev.read_record("a") == b"x"
+
+    def test_failed_write_consumes_an_index(self):
+        dev = BlockDevice()
+        dev.set_fault_plan(FaultPlan(enospc_at={1}))
+        dev.write_record("a", b"x")
+        with pytest.raises(NoSpace):
+            dev.write_record("b", b"y")
+        assert dev.record_write_index == 2
+
+    def test_enospc_on_allocation(self):
+        dev = BlockDevice(block_size=16)
+        dev.set_fault_plan(FaultPlan(enospc_allocs={0}))
+        with pytest.raises(NoSpace):
+            dev.allocate(0, 64)
+        dev.allocate(0, 64)                    # next growth succeeds
+        dev.allocate(64, 32)                   # shrink never faults
+
+    def test_shrink_consumes_no_alloc_index(self):
+        dev = BlockDevice(block_size=16)
+        dev.allocate(0, 64)
+        before = dev.alloc_index
+        dev.allocate(64, 16)
+        assert dev.alloc_index == before
+
+
+class TestChecksums:
+    def test_round_trip_is_clean(self):
+        dev = BlockDevice()
+        dev.write_record("k", b"hello")
+        assert dev.read_record("k") == b"hello"
+        dev.write_record("k", b"rewritten")
+        assert dev.read_record("k") == b"rewritten"
+
+    def test_delete_forgets_the_checksum(self):
+        dev = BlockDevice()
+        dev.write_record("k", b"hello")
+        dev.delete_record("k")
+        assert dev.read_record("k") is None
+        dev.write_record("k", b"again")
+        assert dev.read_record("k") == b"again"
