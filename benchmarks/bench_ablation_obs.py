@@ -1,0 +1,105 @@
+"""Ablation H — the observability plane: what tracing sees, what it costs.
+
+Two claims to pin down:
+
+* **structure** — with capture on, every journaled operation produces a
+  root span whose op id equals its journal sequence number, nested spans
+  land under their parents, and the metrics registry records the query
+  distributions.  All of this is deterministic and asserted.
+* **cost** — with capture off (the default), the hooks are one attribute
+  check; enabled, they buffer spans.  Both wall times are *reported* (the
+  disabled-mode overhead budget lives in EXPERIMENTS.md) but not asserted —
+  wall-clock ratios of a sub-second workload flake on shared CPUs.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchResult, report, time_call
+from repro.core.hacfs import HacFileSystem
+
+N_FILES = 40
+
+
+def workload(hac):
+    """A deterministic mixed workload touching every instrumented layer."""
+    hac.makedirs("/docs")
+    for i in range(N_FILES):
+        hac.write_file(f"/docs/f{i:02d}.txt",
+                       f"alpha beta gamma delta doc{i}\n".encode())
+    hac.clock.tick()
+    hac.ssync("/")
+    hac.smkdir("/q-alpha", "alpha")
+    hac.smkdir("/q-beta", "beta AND gamma")
+    hac.set_query("/q-beta", "beta")
+    hac.unlink("/docs/f00.txt")
+    hac.clock.tick()
+    hac.ssync("/")
+
+
+@pytest.mark.benchmark(group="ablation-obs")
+def test_span_structure_and_capture_cost(benchmark, record_report,
+                                         record_json):
+    def run():
+        traced = HacFileSystem()
+        traced.obs.enable()
+        traced_s, _ = time_call(lambda: workload(traced))
+
+        plain = HacFileSystem()
+        plain_s, _ = time_call(lambda: workload(plain))
+        return traced, plain, traced_s, plain_s
+
+    traced, plain, traced_s, plain_s = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=1)
+
+    spans = traced.obs.trace.spans()
+    breakdown = traced.obs.trace.breakdown()
+    begin_seqs = {s.op_id
+                  for s in traced.obs.trace.spans(name="journal.begin")}
+    root_op_ids = {s.op_id for s in spans
+                   if s.parent_id is None and s.op_id is not None}
+
+    results = [
+        BenchResult("workload files", N_FILES),
+        BenchResult("spans captured", len(spans), spans=breakdown),
+        BenchResult("spans dropped", traced.obs.trace.dropped),
+        BenchResult("journaled ops traced", len(begin_seqs)),
+        BenchResult("workload s (capture on)", traced_s, spans=breakdown),
+        BenchResult("workload s (capture off)", plain_s),
+    ]
+    record_report(report("Ablation H: observability — span structure and "
+                         "capture cost", results))
+    record_json("ablation_obs", results, spans=breakdown)
+
+    # --- structural assertions (all deterministic) ---------------------------
+    # capture off by default: the plain world emitted nothing
+    assert not plain.obs.enabled
+    assert plain.obs.trace.spans() == []
+    assert plain.obs.metrics.histograms() == {}
+
+    # every journaled op owns exactly one root span stamped with its seq
+    assert begin_seqs, "the workload must exercise the journal"
+    assert root_op_ids == begin_seqs, (
+        f"journal seqs {sorted(begin_seqs)} must each correlate with a root "
+        f"span op id {sorted(root_op_ids)}")
+    assert traced.counters.get("journal.begins") == len(begin_seqs)
+
+    # nesting: every non-root span's parent is a captured span
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        if s.parent_id is not None:
+            assert s.parent_id in by_id, f"orphan span {s.name}"
+
+    # the layers all reported in: VFS, device, CBA, cascade, journal
+    names = {s.name for s in spans}
+    for expected in ("vfs.write_file", "dev.write_record", "cba.search",
+                     "hac.cascade", "hac.reevaluate", "journal.begin",
+                     "journal.commit", "hac.smkdir"):
+        assert expected in names, f"missing span family: {expected}"
+
+    # searches recorded their candidate-block distribution
+    hist = traced.obs.metrics.histogram("cba.candidate_blocks")
+    assert hist is not None and hist.count > 0
+
+    # the breakdown conserves time: self time never exceeds inclusive time
+    for name, row in breakdown.items():
+        assert row["self_ms"] <= row["wall_ms"] + 1e-6, name

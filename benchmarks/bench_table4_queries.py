@@ -10,11 +10,16 @@ Selectivity is dialled in with topic injection: three marker words planted
 in ~0.5 %, ~5 % and ~50 % of the corpus files.  Shape to reproduce:
 overhead ratio strictly decreasing in the number of matches, large for
 "few", small for "many".
+
+Wall-clock ratios are *reported* but the shape is *asserted* on simulated
+device-op counts (record reads + writes), which are exactly reproducible on
+any machine — a loaded CI runner cannot flake them.
 """
 
 import pytest
 
-from repro.bench.harness import BenchResult, report, time_call
+from repro.bench.harness import (BenchResult, merge_breakdowns, report,
+                                 time_call, traced_call)
 from repro.bench.tables import PAPER, ratio
 from repro.cba.queryparser import parse_query
 from repro.core.hacfs import HacFileSystem
@@ -22,6 +27,16 @@ from repro.workloads.corpus import CorpusConfig, CorpusGenerator
 
 TOPICS = {"rareword": 0.005, "midword": 0.05, "commonword": 0.5}
 LABELS = {"rareword": "few", "midword": "intermediate", "commonword": "many"}
+
+#: the simulated cost of one timed call: every block-device record
+#: operation it performed (reads for the scan, data + metadata writes for
+#: directory structures, links, and the WAL)
+OP_KEYS = ("blockdev.read_ops", "blockdev.write_ops",
+           "blockdev.meta_read_ops", "blockdev.meta_write_ops")
+
+
+def _op_cost(hac) -> float:
+    return sum(hac.counters.get(k) for k in OP_KEYS)
 
 
 def build_world(scale):
@@ -41,7 +56,8 @@ def build_world(scale):
 
 
 def measure(hac, topic, repetitions=3):
-    """(direct search seconds, smkdir seconds, matches) for one topic.
+    """One topic's measurements: wall seconds (min over repetitions),
+    deterministic op costs (first repetition), span breakdowns, matches.
 
     The query cache is cleared before every timed call: the comparison is
     against the real Glimpse binary, which starts cold per invocation.
@@ -52,18 +68,34 @@ def measure(hac, topic, repetitions=3):
         hac.engine.clear_query_cache()
         return time_call(lambda: hac.engine.search(ast))[0]
 
-    direct = min(direct_once() for _ in range(repetitions))
+    hac.engine.clear_query_cache()
+    ops0 = _op_cost(hac)
+    first, _, direct_spans = traced_call(hac.obs,
+                                         lambda: hac.engine.search(ast))
+    direct_ops = _op_cost(hac) - ops0
+    direct = min([first] + [direct_once() for _ in range(repetitions - 1)])
+
     smkdir_times = []
+    smkdir_ops = smkdir_spans = None
     for rep in range(repetitions):
         hac.engine.clear_query_cache()
-        secs, _ = time_call(lambda: hac.smkdir(f"/q-{topic}-{rep}", topic))
+        if rep == 0:
+            ops0 = _op_cost(hac)
+            secs, _, smkdir_spans = traced_call(
+                hac.obs, lambda: hac.smkdir(f"/q-{topic}-{rep}", topic))
+            smkdir_ops = _op_cost(hac) - ops0
+        else:
+            secs, _ = time_call(lambda: hac.smkdir(f"/q-{topic}-{rep}", topic))
         smkdir_times.append(secs)
     matches = len(hac.engine.search(ast))
-    return direct, min(smkdir_times), matches
+    return {"direct": direct, "smkdir": min(smkdir_times),
+            "direct_ops": direct_ops, "smkdir_ops": smkdir_ops,
+            "direct_spans": direct_spans, "smkdir_spans": smkdir_spans,
+            "matches": matches}
 
 
 @pytest.mark.benchmark(group="table4")
-def test_table4_query_overhead(benchmark, record_report, scale):
+def test_table4_query_overhead(benchmark, record_report, record_json, scale):
     def run():
         hac, _gen = build_world(scale)
         return {topic: measure(hac, topic) for topic in TOPICS}
@@ -72,36 +104,51 @@ def test_table4_query_overhead(benchmark, record_report, scale):
 
     results = []
     ratios = {}
+    op_ratios = {}
     for topic in ("rareword", "midword", "commonword"):
-        direct, smkdir, matches = data[topic]
+        m = data[topic]
         label = LABELS[topic]
-        ratios[label] = ratio(smkdir, direct)
+        ratios[label] = ratio(m["smkdir"], m["direct"])
+        op_ratios[label] = ratio(m["smkdir_ops"], m["direct_ops"])
         paper = PAPER["table4"][label]["ratio"]
-        results.append(BenchResult(f"{label}: files matched", matches))
-        results.append(BenchResult(f"{label}: direct search s", direct))
-        results.append(BenchResult(f"{label}: smkdir s", smkdir))
+        results.append(BenchResult(f"{label}: files matched", m["matches"]))
+        results.append(BenchResult(f"{label}: direct search s", m["direct"],
+                                   spans=m["direct_spans"]))
+        results.append(BenchResult(f"{label}: smkdir s", m["smkdir"],
+                                   spans=m["smkdir_spans"]))
         results.append(BenchResult(f"{label}: smkdir/search ratio",
                                    ratios[label], paper))
+        results.append(BenchResult(f"{label}: smkdir/search device ops",
+                                   op_ratios[label]))
     record_report(report(
         "Table 4: semantic directory creation vs direct search", results))
+    record_json("table4_queries", results,
+                spans=merge_breakdowns(*(data[t][k] for t in TOPICS
+                                         for k in ("direct_spans",
+                                                   "smkdir_spans"))))
     benchmark.extra_info.update({k: round(v, 2) for k, v in ratios.items()})
 
     # --- shape assertions ----------------------------------------------------
+    # asserted on simulated device-op counts, which are exactly reproducible
+    # (wall ratios above are reported for comparison with the paper only —
+    # on a loaded shared CPU they flake)
+    shape = (f"{op_ratios['few']:.2f} / {op_ratios['intermediate']:.2f} / "
+             f"{op_ratios['many']:.2f}")
     # the dominant signal: few-match queries pay the constant cost hard
-    shape = (f"{ratios['few']:.2f} / {ratios['intermediate']:.2f} / "
-             f"{ratios['many']:.2f}")
-    assert ratios["few"] > ratios["intermediate"] * 1.2, \
+    assert op_ratios["few"] > op_ratios["intermediate"] * 1.2, \
         f"few-match overhead must stand clear of the rest: {shape}"
-    assert ratios["few"] > ratios["many"] * 1.2, \
+    assert op_ratios["few"] > op_ratios["many"] * 1.2, \
         f"few-match overhead must stand clear of the rest: {shape}"
-    # the tail flattens toward 1; intermediate vs many sit within noise of
-    # each other in our substrate (the paper: 1.15 vs 1.02), so require
-    # flat-to-decreasing rather than strictly decreasing
-    assert ratios["many"] <= ratios["intermediate"] * 1.15, \
+    # the tail flattens: per-result work (shared scan + one link write per
+    # match) swamps the constant directory cost
+    assert op_ratios["many"] <= op_ratios["intermediate"] * 1.15, \
         f"the tail must not grow with match count: {shape}"
-    # the paper sees 4x for "few"; our simulated disk has no seek latency,
-    # so the constant directory-creation cost is relatively smaller
-    assert ratios["few"] > 1.25, \
+    # the paper sees 4x for "few"; in op counts the constant cost (journal,
+    # directory records, metadata flush) is ~5x the four-file scan
+    assert op_ratios["few"] > 3.0, \
         "few matches: the constant directory-creation cost should dominate"
-    assert ratios["many"] < 1.3, \
+    # each of the ~400 matches costs a scan read on both sides plus one
+    # symlink metadata write on the smkdir side — the ratio sits near 2,
+    # far below the few-match constant-cost blow-up
+    assert op_ratios["many"] < 2.0, \
         "many matches: per-result work should swamp the constant cost"

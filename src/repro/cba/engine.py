@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, Iterable, List, NamedTuple, Optional, Set, Tuple
 
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import NULL_TRACER
 from repro.util.bitmap import Bitmap
 from repro.util.stats import Counters
 from repro.cba import agrep, planner
@@ -77,6 +79,10 @@ class CBAEngine:
         self.loader = loader
         self.counters = counters if counters is not None else Counters()
         self._stats = self.counters.scoped("engine")
+        #: observability hooks (wired by the owning HacFileSystem);
+        #: both default to shared disabled instances
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
         #: query fast path: planner-ordered conjunctions, doc-level postings
         #: answering term queries without a scan, and a per-(doc, query)
         #: verification memo.  Answers reflect index state — content written
@@ -393,35 +399,47 @@ class CBAEngine:
         self._stats.add("searches")
         if scope is not None and not scope:
             return Bitmap()
-        universe = self.index.all_docs() if scope is None else scope
-        if self.fast_path:
-            query = planner.plan(query, self.index, self._stats)
-        if isinstance(query, MatchAll):
-            return universe.copy()
-        cache_key = None
-        if self._cache_capacity > 0:
-            cache_key = (query, None if scope is None else scope.to_bytes())
-            cached = self._cache.get(cache_key)
-            if cached is not None:
-                self._cache.move_to_end(cache_key)
-                self._stats.add("cache_hits")
-                return cached.result.copy()
-        blocks = self.index.candidate_blocks(query)
-        candidates = self.index.docs_in_blocks(blocks)
-        candidates &= universe
-        if self.fast_path and self._postings_answerable(query):
-            # answered exactly from the doc-level postings: no loader
-            # fetch, no agrep scan, for any of the candidate docs
-            result = self._postings_eval(query) & universe
-            self._stats.add("postings_answers")
-            self._stats.add("docs_scan_avoided", len(candidates))
-        else:
-            result = self._scan(query, candidates)
-        if cache_key is not None:
-            self._cache[cache_key] = _CacheEntry(result.copy(), blocks)
-            if len(self._cache) > self._cache_capacity:
-                self._cache.popitem(last=False)
-        return result
+        with self.tracer.span("cba.search") as span:
+            universe = self.index.all_docs() if scope is None else scope
+            if self.fast_path:
+                with self.tracer.span("cba.plan"):
+                    query = planner.plan(query, self.index, self._stats)
+            if isinstance(query, MatchAll):
+                span.set(mode="matchall", hits=len(universe))
+                return universe.copy()
+            cache_key = None
+            if self._cache_capacity > 0:
+                cache_key = (query, None if scope is None else scope.to_bytes())
+                cached = self._cache.get(cache_key)
+                if cached is not None:
+                    self._cache.move_to_end(cache_key)
+                    self._stats.add("cache_hits")
+                    span.set(mode="cached", hits=len(cached.result))
+                    return cached.result.copy()
+            blocks = self.index.candidate_blocks(query)
+            candidates = self.index.docs_in_blocks(blocks)
+            candidates &= universe
+            self.metrics.observe("cba.candidate_blocks", len(blocks))
+            if self.fast_path and self._postings_answerable(query):
+                # answered exactly from the doc-level postings: no loader
+                # fetch, no agrep scan, for any of the candidate docs
+                with self.tracer.span("cba.postings"):
+                    result = self._postings_eval(query) & universe
+                self._stats.add("postings_answers")
+                self._stats.add("docs_scan_avoided", len(candidates))
+                span.set(mode="postings")
+            else:
+                with self.tracer.span("cba.scan", candidates=len(candidates)):
+                    result = self._scan(query, candidates)
+                span.set(mode="scan")
+                self.metrics.observe("cba.scan_docs", len(candidates))
+            span.set(blocks=len(blocks), candidates=len(candidates),
+                     hits=len(result))
+            if cache_key is not None:
+                self._cache[cache_key] = _CacheEntry(result.copy(), blocks)
+                if len(self._cache) > self._cache_capacity:
+                    self._cache.popitem(last=False)
+            return result
 
     def _scan(self, query: Node, candidates: Bitmap) -> Bitmap:
         """Verify *candidates* against *query*, memo-skipping unchanged docs."""

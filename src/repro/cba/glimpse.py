@@ -187,7 +187,13 @@ class GlimpseIndex:
     def candidate_blocks(self, query: Node) -> Bitmap:
         """Blocks that *may* contain matches; never misses a true match."""
         self._stats.add("block_lookups")
-        return self._blocks(query)
+        blocks = self._blocks(query)
+        # "blocks scanned vs skipped": how much of the occupied index the
+        # coarse filter ruled out for this query (observability metric)
+        self._stats.add("blocks_nominated", len(blocks))
+        self._stats.add("blocks_skipped",
+                        max(0, len(self._all_blocks) - len(blocks)))
+        return blocks
 
     def _blocks(self, node: Node) -> Bitmap:
         if isinstance(node, Term):

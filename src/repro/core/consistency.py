@@ -67,9 +67,12 @@ class ConsistencyManager:
             return 0
         order = graph.topo_order(affected)
         count = 0
-        for uid in order:
-            if self.reevaluate(uid):
-                count += 1
+        with self.hacfs.obs.trace.span("hac.cascade",
+                                       affected=len(order)) as span:
+            for uid in order:
+                if self.reevaluate(uid):
+                    count += 1
+            span.set(reevaluated=count)
         self._stats.add("cascades")
         return count
 
@@ -100,6 +103,11 @@ class ConsistencyManager:
         if path is None:
             return False
         self._stats.add("reevaluations")
+        with self.hacfs.obs.trace.span("hac.reevaluate", uid=uid, path=path):
+            return self._reevaluate_semantic(uid, state, path)
+
+    def _reevaluate_semantic(self, uid: int, state: "SemanticDirState",
+                             path: str) -> bool:
         parent_path = pathutil.dirname(path)
         scope = self.hacfs.scopes.provided(parent_path)
 

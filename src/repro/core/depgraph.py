@@ -26,6 +26,7 @@ from collections import deque
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import DependencyCycle
+from repro.obs.trace import NULL_TRACER
 
 ROOT_UID = 0
 
@@ -41,6 +42,9 @@ class DependencyGraph:
         self._providers: Dict[int, Dict[int, str]] = {ROOT_UID: {}}
         #: provider uid → set of dependent uids
         self._dependents: Dict[int, Set[int]] = {ROOT_UID: set()}
+        #: observability hook (re-wired by HacFileSystem after every
+        #: (re)construction, since the graph is rebuilt on reload/restore)
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # node / edge maintenance
@@ -178,10 +182,15 @@ class DependencyGraph:
                     frontier.append(dependent)
         if include_start:
             affected.add(start)
+        if self.tracer.enabled:
+            self.tracer.event("dep.affected", start=start,
+                              affected=len(affected))
         return self._topo_sort(affected)
 
     def full_order(self) -> List[int]:
         """Topological order of the whole graph (global re-evaluation)."""
+        if self.tracer.enabled:
+            self.tracer.event("dep.full_order", nodes=len(self._providers))
         return self._topo_sort(set(self._providers))
 
     def topo_order(self, nodes: Iterable[int]) -> List[int]:

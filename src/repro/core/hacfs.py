@@ -34,6 +34,7 @@ from repro.errors import (
     InvalidArgument,
     NotASemanticDirectory,
 )
+from repro.obs import Observability
 from repro.util import pathutil
 from repro.util.clock import VirtualClock
 from repro.util.idmap import GlobalDirectoryMap
@@ -69,15 +70,21 @@ class HacFileSystem:
                  counters: Optional[Counters] = None,
                  num_blocks: int = 64,
                  attr_cache_capacity: int = 256,
-                 fast_path: bool = True):
+                 fast_path: bool = True,
+                 obs: Optional[Observability] = None):
         self.counters = counters if counters is not None else Counters()
         self.clock = clock if clock is not None else VirtualClock()
+        #: the observability plane — disabled by default; enable with
+        #: ``hac.obs.enable()`` (or pass one in already enabled)
+        self.obs = obs if obs is not None else Observability(
+            clock=self.clock, counters=self.counters)
         self.fs = fs if fs is not None else FileSystem(
             name="hac", clock=self.clock, counters=self.counters)
         self._hac = self.counters.scoped("hac")
         self.dirmap = GlobalDirectoryMap()
         self.meta = MetaStore(self.fs.device)
-        self.journal = Journal(self.fs.device, self.counters)
+        self.journal = Journal(self.fs.device, self.counters,
+                               tracer=self.obs.trace)
         self.last_recovery = None
         self.depgraph = DependencyGraph()
         self.engine = CBAEngine(loader=self._load_doc, num_blocks=num_blocks,
@@ -104,10 +111,25 @@ class HacFileSystem:
         # the root's (empty) HAC state — uid 0 is pre-registered in the map
         self.meta.create(GlobalDirectoryMap.ROOT_UID)
         self._persist_maps()
+        self._wire_obs()
 
     # ==================================================================
     # plumbing
     # ==================================================================
+
+    def _wire_obs(self) -> None:
+        """Thread the observability plane through every component.
+
+        Components hold the tracer as a plain attribute (disabled-mode cost:
+        one attribute check), so re-wiring after a structure is rebuilt —
+        ``reload_persisted`` replaces the dependency graph, ``restore``
+        replaces everything — is just re-assignment."""
+        tracer = self.obs.trace
+        self.fs.tracer = tracer
+        self.fs.device.tracer = tracer
+        self.engine.tracer = tracer
+        self.engine.metrics = self.obs.metrics
+        self.depgraph.tracer = tracer
 
     def _load_doc(self, key) -> str:
         """Engine loader: fetch a document's current text by (fsid, ino).
@@ -203,30 +225,37 @@ class HacFileSystem:
         device for :meth:`restore` to roll back); on any soft failure (e.g.
         a transient ENOSPC), roll back in process so the operation is fully
         absent.  Nested uses (``smkdir`` → ``mkdir``) join the outer intent.
-        """
-        intent = self.journal.begin(op, payload)
-        if intent is None:
-            yield None
-            return
-        try:
-            yield intent
-        except DeviceCrashed:
-            # the device is frozen: nothing more can be written, so leave
-            # the wal in place — restore() rolls this intent back
-            self.journal.abandon(intent)
-            raise
-        except BaseException:
-            from repro.core.recovery import rollback_in_process
 
+        The whole operation runs under a ``hac.<op>`` trace span, opened
+        *before* ``journal.begin`` so the journal can stamp the intent's
+        sequence onto it as the span's op id — the journal↔trace
+        correlation the crash sweep asserts on.  Nested uses produce nested
+        spans with no op id of their own (the outer intent owns the op).
+        """
+        with self.obs.trace.span(f"hac.{op}", **payload):
+            intent = self.journal.begin(op, payload)
+            if intent is None:
+                yield None
+                return
             try:
-                rollback_in_process(self, intent)
-            except Exception:
-                # rollback itself failed (device died mid-rollback): the
-                # wal is still on the device, restore() finishes the job
-                if self.journal.active is intent:
-                    self.journal.abandon(intent)
-            raise
-        self.journal.commit(intent)
+                yield intent
+            except DeviceCrashed:
+                # the device is frozen: nothing more can be written, so leave
+                # the wal in place — restore() rolls this intent back
+                self.journal.abandon(intent)
+                raise
+            except BaseException:
+                from repro.core.recovery import rollback_in_process
+
+                try:
+                    rollback_in_process(self, intent)
+                except Exception:
+                    # rollback itself failed (device died mid-rollback): the
+                    # wal is still on the device, restore() finishes the job
+                    if self.journal.active is intent:
+                        self.journal.abandon(intent)
+                raise
+            self.journal.commit(intent)
 
     def reload_persisted(self) -> None:
         """Reload every persisted structure from the device records
@@ -236,6 +265,7 @@ class HacFileSystem:
         raw_graph = self.meta.load_aux("depgraph")
         self.depgraph = (DependencyGraph.from_obj(raw_graph)
                          if raw_graph else DependencyGraph())
+        self.depgraph.tracer = self.obs.trace
         self.meta.reload_all()
         self._clear_attrs()
 
@@ -306,6 +336,8 @@ class HacFileSystem:
     def create(self, path: str, mode: int = 0o644) -> StatResult:
         """Create a file; HAC also primes the attribute cache (§4)."""
         self._hac.add("create")
+        if self.obs.trace.enabled:
+            self.obs.trace.event("hac.create", path=path)
         norm = self._library_resolve(path)
         stat = self.fs.create(path, mode=mode)
         self.attrcache.put(norm, stat.attrs)
@@ -345,6 +377,8 @@ class HacFileSystem:
         """Remove a file or link; deleting a tracked link in a semantic
         directory records a prohibition (§2.3)."""
         self._hac.add("unlink")
+        if self.obs.trace.enabled:
+            self.obs.trace.event("hac.unlink", path=path)
         res = self.fs.resolve(path, follow=False)
         parent_dir = pathutil.dirname(pathutil.normalize(path))
         name = pathutil.basename(pathutil.normalize(path))
@@ -379,6 +413,8 @@ class HacFileSystem:
         """Create a link; inside a semantic directory it becomes permanent
         (and lifts any prohibition on its target, §2.3)."""
         self._hac.add("symlink")
+        if self.obs.trace.enabled:
+            self.obs.trace.event("hac.symlink", target=target, link=linkpath)
         stat = self.fs.symlink(target, linkpath)
         parent_dir = pathutil.dirname(pathutil.normalize(linkpath))
         name = pathutil.basename(pathutil.normalize(linkpath))
@@ -453,8 +489,12 @@ class HacFileSystem:
         cached = self.attrcache.get(norm)
         identity = self._stat_identity.get(norm)
         if cached is not None and identity is not None:
+            if self.obs.trace.enabled:
+                self.obs.trace.event("hac.stat", path=norm, cache="hit")
             fsid, ino, node_type = identity
             return StatResult(fsid, ino, node_type, cached)
+        if self.obs.trace.enabled:
+            self.obs.trace.event("hac.stat", path=norm, cache="miss")
         stat = self.fs.stat(path)
         self.attrcache.put(norm, stat.attrs)
         self._stat_identity[norm] = (stat.fsid, stat.ino, stat.type)
@@ -824,7 +864,8 @@ class HacFileSystem:
                 clock: Optional[VirtualClock] = None,
                 counters: Optional[Counters] = None,
                 reuse_index: bool = True,
-                fast_path: bool = True) -> "HacFileSystem":
+                fast_path: bool = True,
+                obs: Optional[Observability] = None) -> "HacFileSystem":
         """Rebuild a HAC file system from the records persisted on *fs*'s
         device (crash recovery / reopen).
 
@@ -849,13 +890,20 @@ class HacFileSystem:
         hacfs = cls.__new__(cls)
         hacfs.counters = counters if counters is not None else Counters()
         hacfs.clock = clock if clock is not None else VirtualClock()
+        hacfs.obs = obs if obs is not None else Observability(
+            clock=hacfs.clock, counters=hacfs.counters)
         hacfs.fs = fs
         hacfs._hac = hacfs.counters.scoped("hac")
         fs.device.clear_faults()  # the reboot: the device comes back up
+        fs.tracer = hacfs.obs.trace
+        fs.device.tracer = hacfs.obs.trace
         hacfs.meta = MetaStore(fs.device)
-        hacfs.journal = Journal(fs.device, hacfs.counters)
+        hacfs.journal = Journal(fs.device, hacfs.counters,
+                                tracer=hacfs.obs.trace)
         report = RecoveryReport()
-        pending = recover_records(hacfs.journal, report)
+        with hacfs.obs.trace.span("hac.recover") as span:
+            pending = recover_records(hacfs.journal, report)
+            span.set(rolled_back=len(pending))
         hacfs.last_recovery = report
         raw_map = hacfs.meta.load_aux("globalmap") or {"0": "/"}
         hacfs.dirmap = GlobalDirectoryMap.restore(
@@ -898,6 +946,7 @@ class HacFileSystem:
                                      counters=hacfs.counters,
                                      fast_path=fast_path)
             restore_stats.add("index_rebuilds")
+        hacfs._wire_obs()
         # a saved index makes this incremental (Θ(changes), not Θ(corpus))
         hacfs.ssync("/")
         return hacfs

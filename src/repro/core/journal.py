@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.errors import CorruptRecord
+from repro.obs.trace import NULL_TRACER, TraceContext
 from repro.util import serialization
 from repro.util.stats import Counters
 from repro.vfs.blockdev import BlockDevice
@@ -90,9 +91,13 @@ class Journal:
     """
 
     def __init__(self, device: BlockDevice,
-                 counters: Optional[Counters] = None):
+                 counters: Optional[Counters] = None,
+                 tracer: Optional[TraceContext] = None):
         self.device = device
         self._stats = (counters or Counters()).scoped("journal")
+        #: observability hook; journal events carry the intent seq as their
+        #: op id, which is what correlates a recovered intent to its trace
+        self._trace = tracer if tracer is not None else NULL_TRACER
         self._active: Optional[Intent] = None
         self._seq = self._scan_next_seq()
         device.record_hook = self._on_record_touch
@@ -121,9 +126,10 @@ class Journal:
         record = {"key": key, "existed": old is not None, "data": old or b""}
         # this nested write_record is ignored by the hook (wal: prefix) and
         # must complete before the touching write — write-ahead, literally
-        self.device.write_record(f"{WAL_PREFIX}{intent.seq}:u{index}",
-                                 serialization.dumps(record))
+        payload = serialization.dumps(record)
+        self.device.write_record(f"{WAL_PREFIX}{intent.seq}:u{index}", payload)
         self._stats.add("preimages")
+        self._stats.add("wal_bytes", len(payload))
 
     # -- the intent lifecycle ----------------------------------------------------
 
@@ -138,11 +144,15 @@ class Journal:
         seq = self._seq
         self._seq += 1
         intent = Intent(seq, op, payload)
-        self.device.write_record(
-            f"{WAL_PREFIX}{seq}:begin",
-            serialization.dumps({"op": op, "seq": seq, "payload": payload}))
+        begin = serialization.dumps({"op": op, "seq": seq, "payload": payload})
+        self.device.write_record(f"{WAL_PREFIX}{seq}:begin", begin)
         self._active = intent
         self._stats.add("begins")
+        self._stats.add("wal_bytes", len(begin))
+        # the operation's root span now carries this intent's sequence —
+        # the journal↔trace correlation the crash sweep asserts on
+        self._trace.set_op_id(seq)
+        self._trace.event("journal.begin", op_id=seq, op=op)
         return intent
 
     def commit(self, intent: Intent) -> None:
@@ -153,6 +163,8 @@ class Journal:
         for index in range(len(intent.capture_order)):
             self.device.delete_record(f"{WAL_PREFIX}{intent.seq}:u{index}")
         self._stats.add("commits")
+        self._trace.event("journal.commit", op_id=intent.seq, op=intent.op,
+                          preimages=len(intent.capture_order))
 
     def abandon(self, intent: Intent) -> None:
         """Deactivate without committing — the wal records stay for recovery
@@ -160,6 +172,7 @@ class Journal:
         if self._active is intent:
             self._active = None
         self._stats.add("abandons")
+        self._trace.event("journal.abandon", op_id=intent.seq, op=intent.op)
 
     # -- recovery-side reading ---------------------------------------------------
 
@@ -229,14 +242,17 @@ class Journal:
         """
         assert self._active is None, "cannot roll back inside an intent"
         restored = 0
-        for rec in reversed(pending.pre_images):
-            key = str(rec["key"])
-            if rec["existed"]:
-                self.device.write_record(key, bytes(rec["data"]))
-            else:
-                self.device.delete_record(key)
-            restored += 1
-        self.clear(pending.seq, len(pending.pre_images))
+        with self._trace.span("journal.rollback", op_id=pending.seq,
+                              op=pending.op) as span:
+            for rec in reversed(pending.pre_images):
+                key = str(rec["key"])
+                if rec["existed"]:
+                    self.device.write_record(key, bytes(rec["data"]))
+                else:
+                    self.device.delete_record(key)
+                restored += 1
+            self.clear(pending.seq, len(pending.pre_images))
+            span.set(restored=restored)
         self._stats.add("rollbacks")
         return restored
 

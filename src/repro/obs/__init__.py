@@ -1,0 +1,69 @@
+"""The observability plane: op-level tracing + metrics, zero dependencies.
+
+One :class:`Observability` object travels with a
+:class:`~repro.core.hacfs.HacFileSystem` and is threaded (as a plain
+attribute) through every layer the paper defines — VFS, block device,
+journal, dependency graph, CBA engine, Glimpse index, RPC transport — so a
+single switch turns the whole stack's instrumentation on or off:
+
+* :class:`~repro.obs.trace.TraceContext` — nested spans per operation
+  (syscall → re-evaluation → query plan → postings kernel / block scan →
+  record I/O → journal intent/commit → RPC attempt), JSONL-exportable;
+* :class:`~repro.obs.metrics.MetricsRegistry` — the shared counter bag
+  plus virtual-clock histograms.
+
+Disabled is the default and costs one attribute check per hook; DESIGN.md
+§3d records the measured overhead budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, NULL_TRACER, Span, TraceContext
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NULL_TRACER",
+    "Observability",
+    "Span",
+    "TraceContext",
+]
+
+
+class Observability:
+    """Trace + metrics under one switch, sharing one clock and counter bag."""
+
+    def __init__(self, clock=None, counters=None, enabled: bool = False,
+                 trace_capacity: int = 8192):
+        self.trace = TraceContext(clock=clock, capacity=trace_capacity,
+                                  enabled=enabled)
+        self.metrics = MetricsRegistry(counters=counters, clock=clock,
+                                       enabled=enabled)
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace.enabled
+
+    def enable(self) -> None:
+        self.trace.enable()
+        self.metrics.enable()
+
+    def disable(self) -> None:
+        self.trace.disable()
+        self.metrics.disable()
+
+    def clear(self) -> None:
+        self.trace.clear()
+        self.metrics.clear_histograms()
+
+    def snapshot(self) -> dict:
+        """Counters + histograms + span breakdown in one report-ready dict."""
+        snap = self.metrics.snapshot()
+        snap["spans"] = self.trace.breakdown()
+        snap["spans_dropped"] = self.trace.dropped
+        return snap

@@ -1,0 +1,177 @@
+"""Metrics — counters plus virtual-clock histograms.
+
+The repo already accounts scalar facts through :class:`repro.util.stats.
+Counters` (``blockdev.read_blocks``, ``engine.docs_scanned``, ``breaker.*``
+transitions, ...).  The registry builds on that rather than competing with
+it: ``inc()`` lands in the *shared* counter bag, so one ``hacstat`` snapshot
+shows component counters and observability metrics side by side, while
+histograms add the piece counters cannot express — distributions (blocks
+nominated per query, docs verified per scan, RPC latency on the virtual
+clock, span durations).
+
+Like tracing, the registry is free when disabled: ``observe()``/``time()``
+bail on one attribute check.  ``inc()`` is intentionally *not* gated — it
+writes plain counters, which this codebase treats as always-on accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.stats import Counters
+
+#: generic duration buckets (milliseconds-ish scale; values are unitless)
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with min/max/sum tracking."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted")
+        #: counts[i] counts values <= bounds[i]; the last slot is overflow
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_obj(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "mean": round(self.mean, 9),
+            "min": self.min_value,
+            "max": self.max_value,
+            "buckets": {
+                **{f"le_{b:g}": c
+                   for b, c in zip(self.bounds, self.counts)},
+                "overflow": self.counts[-1],
+            },
+        }
+
+    def __repr__(self):
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class _Timer:
+    """Context manager feeding one histogram; virtual clock when bound."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        clock = self._registry.clock
+        self._start = clock.now if clock is not None else time.perf_counter()
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        clock = self._registry.clock
+        now = clock.now if clock is not None else time.perf_counter()
+        self._registry.observe(self._name, now - self._start)
+        return False
+
+
+class _NoopTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopTimer":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        return False
+
+
+_NOOP_TIMER = _NoopTimer()
+
+
+class MetricsRegistry:
+    """Counters (shared bag) + named histograms for one file system."""
+
+    def __init__(self, counters: Optional[Counters] = None, clock=None,
+                 enabled: bool = False):
+        self.counters = counters if counters is not None else Counters()
+        self.clock = clock
+        self.enabled = enabled
+        self._hists: Dict[str, Histogram] = {}
+
+    # -- switches -------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- recording ------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Bump a counter in the shared bag (always on, like all counters)."""
+        self.counters.add(name, amount)
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        if not self.enabled:
+            return
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = Histogram(name, bounds)
+        hist.observe(value)
+
+    def time(self, name: str):
+        """Context manager observing elapsed time into histogram *name* —
+        virtual-clock seconds when a clock is bound, wall seconds otherwise."""
+        if not self.enabled:
+            return _NOOP_TIMER
+        return _Timer(self, name)
+
+    # -- inspection ------------------------------------------------------------
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._hists.get(name)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._hists)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything at once: the shared counter bag + histogram summaries."""
+        return {
+            "counters": self.counters.snapshot(),
+            "histograms": {name: h.to_obj()
+                           for name, h in sorted(self._hists.items())},
+        }
+
+    def clear_histograms(self) -> None:
+        self._hists.clear()
+
+
+#: shared always-disabled registry — the default for components constructed
+#: without explicit wiring.  Never enable this instance.
+NULL_METRICS = MetricsRegistry()

@@ -1,0 +1,255 @@
+"""Operation-level tracing — nested spans, exportable as JSONL.
+
+A :class:`TraceContext` records what one logical operation *did*: the
+syscall at the top, the semantic-directory re-evaluations it triggered,
+the query plan and whether the postings kernel or a block scan answered
+it, the device records it touched, the journal intent protecting it, and
+any RPC attempts along the way.  Spans nest by call structure and carry a
+virtual-clock interval next to the wall-clock one, so breakdowns stay
+meaningful under the simulated cost model.
+
+Tracing is off by default and built to be free when off: ``span()``
+returns a shared no-op context manager after a single attribute check, and
+``event()``/``set_op_id()`` return immediately.  Nothing here imports
+outside the standard library.
+
+The ``op_id`` field exists for journal correlation: when a journaled
+operation opens its intent, :class:`repro.core.journal.Journal` stamps the
+intent's sequence number onto the enclosing root span (and onto its own
+``journal.*`` events), so a recovered intent can always be matched to the
+trace of the operation that wrote it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class Span:
+    """One timed, attributed interval inside an operation."""
+
+    __slots__ = ("span_id", "parent_id", "op_id", "name", "attrs",
+                 "t_start", "t_end", "wall_start", "wall_end", "error",
+                 "_trace")
+
+    def __init__(self, trace: "TraceContext", span_id: int,
+                 parent_id: Optional[int], name: str,
+                 op_id: Optional[int], attrs: Dict[str, object]):
+        self._trace = trace
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.op_id = op_id
+        self.name = name
+        self.attrs = attrs
+        self.t_start = 0.0
+        self.t_end: Optional[float] = None
+        self.wall_start = 0.0
+        self.wall_end: Optional[float] = None
+        self.error: Optional[str] = None
+
+    # -- context manager protocol (used via TraceContext.span) ---------------
+
+    def __enter__(self) -> "Span":
+        self._trace._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._trace._pop(self)
+        return False
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered mid-span (e.g. result sizes)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self.wall_end if self.wall_end is not None else self.wall_start
+        return end - self.wall_start
+
+    @property
+    def virtual_seconds(self) -> float:
+        end = self.t_end if self.t_end is not None else self.t_start
+        return end - self.t_start
+
+    def to_obj(self) -> Dict[str, object]:
+        obj: Dict[str, object] = {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "op": self.op_id,
+            "name": self.name,
+            "t0": self.t_start,
+            "t1": self.t_end,
+            "wall_ms": round(self.wall_seconds * 1000.0, 6),
+        }
+        if self.attrs:
+            obj["attrs"] = self.attrs
+        if self.error is not None:
+            obj["error"] = self.error
+        return obj
+
+    def __repr__(self):
+        return (f"Span({self.span_id}, {self.name!r}, op={self.op_id}, "
+                f"parent={self.parent_id})")
+
+
+class _NoopSpan:
+    """The shared disabled-mode span: every method is a cheap no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        return False
+
+    def set(self, **_attrs) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class TraceContext:
+    """Collects spans for one file-system instance.
+
+    :param clock: optional virtual clock; spans then carry virtual-time
+        intervals next to wall-clock ones.
+    :param capacity: finished-span ring buffer size — tracing a long
+        benchmark keeps the most recent spans rather than growing without
+        bound (drops are counted in :attr:`dropped`).
+    """
+
+    def __init__(self, clock=None, capacity: int = 8192,
+                 enabled: bool = False):
+        self.enabled = enabled
+        self.clock = clock
+        self.capacity = capacity
+        self._finished: Deque[Span] = deque(maxlen=capacity)
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.dropped = 0
+
+    # -- switches -------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._finished.clear()
+        self._stack.clear()
+        self.dropped = 0
+
+    # -- span production -------------------------------------------------------
+
+    def span(self, name: str, op_id: Optional[int] = None, **attrs):
+        """A context manager timing one nested interval; no-op when off."""
+        if not self.enabled:
+            return NOOP_SPAN
+        span = Span(self, self._next_id,
+                    self._stack[-1].span_id if self._stack else None,
+                    name, op_id, attrs)
+        self._next_id += 1
+        return span
+
+    def event(self, name: str, op_id: Optional[int] = None, **attrs) -> None:
+        """A zero-duration span (record writes, journal begin/commit...)."""
+        if not self.enabled:
+            return
+        span = Span(self, self._next_id,
+                    self._stack[-1].span_id if self._stack else None,
+                    name, op_id, attrs)
+        self._next_id += 1
+        now_wall = time.perf_counter()
+        now_virtual = self.clock.now if self.clock is not None else 0.0
+        span.wall_start = span.wall_end = now_wall
+        span.t_start = span.t_end = now_virtual
+        self._retire(span)
+
+    def set_op_id(self, op_id: int) -> None:
+        """Stamp the journal sequence onto the operation's root span."""
+        if not self.enabled or not self._stack:
+            return
+        self._stack[0].op_id = op_id
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- stack plumbing (driven by Span.__enter__/__exit__) --------------------
+
+    def _push(self, span: Span) -> None:
+        span.wall_start = time.perf_counter()
+        span.t_start = self.clock.now if self.clock is not None else 0.0
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.wall_end = time.perf_counter()
+        span.t_end = self.clock.now if self.clock is not None else 0.0
+        # tolerate exception-skewed exits: unwind to (and including) span
+        while self._stack:
+            top = self._stack.pop()
+            self._retire(top)
+            if top is span:
+                break
+
+    def _retire(self, span: Span) -> None:
+        if len(self._finished) == self.capacity:
+            self.dropped += 1
+        self._finished.append(span)
+
+    # -- inspection / export ---------------------------------------------------
+
+    def spans(self, name: Optional[str] = None,
+              op_id: Optional[int] = None) -> List[Span]:
+        """Finished spans, oldest first, optionally filtered."""
+        out = list(self._finished)
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        if op_id is not None:
+            out = [s for s in out if s.op_id == op_id]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def export_jsonl(self) -> str:
+        """One JSON object per finished span, oldest first."""
+        return "\n".join(json.dumps(span.to_obj(), sort_keys=True,
+                                    default=str)
+                         for span in self._finished)
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate finished spans by name: count and *self* wall time
+        (a span's interval minus its direct children's, so the totals of a
+        breakdown are additive rather than double-counted)."""
+        child_time: Dict[int, float] = {}
+        for span in self._finished:
+            if span.parent_id is not None:
+                child_time[span.parent_id] = \
+                    child_time.get(span.parent_id, 0.0) + span.wall_seconds
+        out: Dict[str, Dict[str, float]] = {}
+        for span in self._finished:
+            row = out.setdefault(span.name, {"count": 0, "wall_ms": 0.0,
+                                             "self_ms": 0.0})
+            row["count"] += 1
+            row["wall_ms"] += span.wall_seconds * 1000.0
+            self_s = span.wall_seconds - child_time.get(span.span_id, 0.0)
+            row["self_ms"] += max(0.0, self_s) * 1000.0
+        for row in out.values():
+            row["wall_ms"] = round(row["wall_ms"], 6)
+            row["self_ms"] = round(row["self_ms"], 6)
+        return out
+
+
+#: shared always-disabled context — the default for components constructed
+#: without explicit wiring.  Never enable this instance.
+NULL_TRACER = TraceContext()

@@ -36,6 +36,7 @@ import random
 from typing import Callable, FrozenSet, Iterable, Optional, TypeVar
 
 from repro.errors import CircuitOpen, RemoteUnavailable
+from repro.obs.trace import NULL_TRACER, TraceContext
 from repro.util.clock import VirtualClock
 from repro.util.stats import Counters
 
@@ -104,7 +105,8 @@ class CircuitBreaker:
                  cooldown: float = 30.0,
                  clock: Optional[VirtualClock] = None,
                  counters: Optional[Counters] = None,
-                 name: str = "breaker"):
+                 name: str = "breaker",
+                 tracer: Optional[TraceContext] = None):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
         self.failure_threshold = failure_threshold
@@ -112,9 +114,19 @@ class CircuitBreaker:
         self.clock = clock
         self.name = name
         self._stats = (counters or Counters()).scoped(f"breaker.{name}")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.state = "closed"
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self.state:
+            return
+        self._stats.add("transitions")
+        if self.tracer.enabled:
+            self.tracer.event("rpc.breaker", name=self.name,
+                              old=self.state, new=new_state)
+        self.state = new_state
 
     @property
     def retry_at(self) -> Optional[float]:
@@ -128,7 +140,7 @@ class CircuitBreaker:
             return
         assert self.clock is not None, "breaker used before a clock was bound"
         if self.clock.now >= self.retry_at:
-            self.state = "half_open"
+            self._transition("half_open")
             self._stats.add("half_opens")
             return
         self._stats.add("rejections")
@@ -137,7 +149,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         if self.state != "closed":
             self._stats.add("closes")
-        self.state = "closed"
+        self._transition("closed")
         self._consecutive_failures = 0
         self._opened_at = None
 
@@ -147,7 +159,7 @@ class CircuitBreaker:
                 or self._consecutive_failures >= self.failure_threshold:
             if self.state != "open":
                 self._stats.add("opens")
-            self.state = "open"
+            self._transition("open")
             self._opened_at = self.clock.now if self.clock is not None else 0.0
             self._consecutive_failures = 0
 
@@ -163,7 +175,8 @@ class RpcTransport:
                  counters: Optional[Counters] = None,
                  fail_on: Optional[Iterable[int]] = None,
                  retry: Optional[RetryPolicy] = None,
-                 breaker: Optional[CircuitBreaker] = None):
+                 breaker: Optional[CircuitBreaker] = None,
+                 tracer: Optional[TraceContext] = None):
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError("failure_rate must be within [0, 1]")
         self.name = name
@@ -172,6 +185,9 @@ class RpcTransport:
         self.failure_rate = failure_rate
         self._rng = random.Random(seed)
         self._stats = (counters or Counters()).scoped(f"rpc.{name}")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if breaker is not None and breaker.tracer is NULL_TRACER:
+            breaker.tracer = self.tracer
         #: deterministic failure schedule; when set, rate mode is ignored
         self.fail_on: Optional[FrozenSet[int]] = \
             frozenset(fail_on) if fail_on is not None else None
@@ -204,27 +220,35 @@ class RpcTransport:
         breaker protection this transport was built with."""
         start = self.clock.now
         attempt = 0
-        while True:
-            if self.breaker is not None:
-                self.breaker.before_call()
-            attempt += 1
-            try:
-                result = self._attempt(what, fn)
-            except RemoteUnavailable as exc:
+        with self.tracer.span("rpc.call", backend=self.name,
+                              what=what) as span:
+            while True:
                 if self.breaker is not None:
-                    self.breaker.record_failure()
-                delay = None if self.retry is None else \
-                    self.retry.next_delay(attempt, self.clock.now - start)
-                if delay is None:
-                    if self.retry is not None:
-                        self._stats.add("giveups")
-                    raise
-                self._stats.add("retries")
-                self.clock.advance(delay)
-                continue
-            if self.breaker is not None:
-                self.breaker.record_success()
-            return result
+                    self.breaker.before_call()
+                attempt += 1
+                try:
+                    result = self._attempt(what, fn)
+                except RemoteUnavailable as exc:
+                    if self.tracer.enabled:
+                        self.tracer.event("rpc.attempt", backend=self.name,
+                                          what=what, attempt=attempt,
+                                          failed=str(exc))
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    delay = None if self.retry is None else \
+                        self.retry.next_delay(attempt, self.clock.now - start)
+                    if delay is None:
+                        if self.retry is not None:
+                            self._stats.add("giveups")
+                        span.set(attempts=attempt, outcome="giveup")
+                        raise
+                    self._stats.add("retries")
+                    self.clock.advance(delay)
+                    continue
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                span.set(attempts=attempt, outcome="ok")
+                return result
 
     @property
     def calls(self) -> float:

@@ -41,6 +41,10 @@ commands:
   glimpse QUERY...      ad-hoc search
   swatch/sunwatch PATH  eager data consistency for a subtree
   fsck [--repair]       audit HAC's internal structures
+  hacstat [PREFIX]      counters, histograms, and span breakdown
+  trace on|off|clear    toggle span capture
+  trace show [NAME]     dump captured spans (optionally one span name)
+  trace export PATH     write spans as JSONL into the file system
   help | quit
 """
 
@@ -146,7 +150,38 @@ def _dispatch(shell: HacShell, cmd: str, args: List[str]) -> Optional[str]:
     if cmd == "fsck":
         findings = shell.fsck(repair="--repair" in args)
         return "\n".join(findings) if findings else "clean"
+    if cmd == "hacstat":
+        from repro.shell.formatting import render_metrics
+        return render_metrics(shell.hacstat(args[0] if args else ""))
+    if cmd == "trace":
+        return _trace_command(shell, args)
     return f"unknown command: {cmd} (try help)"
+
+
+def _trace_command(shell: HacShell, args: List[str]) -> str:
+    import json
+
+    sub = args[0] if args else "show"
+    if sub == "on":
+        shell.trace_on()
+        return "tracing on"
+    if sub == "off":
+        shell.trace_off()
+        return "tracing off"
+    if sub == "clear":
+        shell.trace_clear()
+        return "trace buffer cleared"
+    if sub == "show":
+        spans = shell.trace_spans(name=args[1] if len(args) > 1 else None)
+        if not spans:
+            return "(no spans captured — try 'trace on')"
+        return "\n".join(json.dumps(s, sort_keys=True) for s in spans)
+    if sub == "export":
+        if len(args) < 2:
+            return "usage: trace export PATH"
+        count = shell.trace_export(args[1])
+        return f"wrote {count} spans to {shell.resolve_path(args[1])}"
+    return f"unknown trace subcommand: {sub} (on|off|clear|show|export)"
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -43,6 +43,39 @@ def long_listing(rows: Sequence[Tuple[str, InodeType, int, int, float,
     return "\n".join(lines)
 
 
+def render_metrics(snapshot: Dict[str, object]) -> str:
+    """Render an :meth:`Observability.snapshot` for the ``hacstat`` command:
+    counters first, then histograms (count/mean/max), then the per-span-name
+    breakdown with self-time split out from inclusive wall time."""
+    sections: List[str] = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        rows = [(name, f"{value:g}") for name, value in sorted(counters.items())]
+        sections.append(render_table(("counter", "value"), rows))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            h = histograms[name]
+            rows.append((name, h["count"], f"{h['mean']:.4g}",
+                         f"{h['max']:.4g}"))
+        sections.append(render_table(("histogram", "count", "mean", "max"),
+                                     rows))
+    spans = snapshot.get("spans") or {}
+    if spans:
+        rows = []
+        for name in sorted(spans):
+            b = spans[name]
+            rows.append((name, b["count"], f"{b['wall_ms']:.3f}",
+                         f"{b['self_ms']:.3f}"))
+        sections.append(render_table(("span", "count", "wall_ms", "self_ms"),
+                                     rows))
+    dropped = snapshot.get("spans_dropped") or 0
+    if dropped:
+        sections.append(f"spans dropped: {dropped}")
+    return "\n\n".join(sections) if sections else "(no metrics recorded)"
+
+
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Plain-text table with padded columns (benchmark output)."""
     cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]

@@ -169,6 +169,39 @@ class HacShell:
         """Audit HAC's structures; returns rendered findings."""
         return [str(f) for f in self.hacfs.fsck(repair=repair)]
 
+    # -- observability -----------------------------------------------------------
+
+    def hacstat(self, prefix: str = "") -> dict:
+        """Snapshot of counters, histograms, and the span breakdown,
+        optionally restricted to counter names starting with *prefix*."""
+        snap = self.hacfs.obs.snapshot()
+        if prefix:
+            snap["counters"] = {k: v for k, v in snap["counters"].items()
+                                if k.startswith(prefix)}
+        return snap
+
+    def trace_on(self) -> None:
+        self.hacfs.obs.enable()
+
+    def trace_off(self) -> None:
+        self.hacfs.obs.disable()
+
+    def trace_clear(self) -> None:
+        self.hacfs.obs.clear()
+
+    def trace_spans(self, name: Optional[str] = None,
+                    op_id: Optional[int] = None) -> List[dict]:
+        return [s.to_obj() for s in
+                self.hacfs.obs.trace.spans(name=name, op_id=op_id)]
+
+    def trace_export(self, path: str) -> int:
+        """Write the captured spans as JSONL *into the HAC file system*;
+        returns the number of spans written."""
+        text = self.hacfs.obs.trace.export_jsonl()
+        count = len(self.hacfs.obs.trace.spans())
+        self.hacfs.write_file(self.resolve_path(path), text.encode("utf-8"))
+        return count
+
     def glimpse(self, query: str, scope_path: str = "/") -> List[str]:
         """Ad-hoc search without creating a semantic directory — the
         'regular glimpse' usage the Table 4 bench compares against."""

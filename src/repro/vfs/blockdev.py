@@ -18,6 +18,7 @@ import zlib
 from typing import Callable, Dict, FrozenSet, Iterable, Optional
 
 from repro.errors import CorruptRecord, DeviceCrashed, NoSpace
+from repro.obs.trace import NULL_TRACER
 from repro.util.stats import Counters
 
 
@@ -96,6 +97,9 @@ class BlockDevice:
         #: point.  The hook may itself write records (recursion is the
         #: hook's problem to avoid).
         self.record_hook: Optional[Callable[[str, Optional[bytes]], None]] = None
+        #: observability hook (set by the owning HacFileSystem); record
+        #: I/O emits zero-duration trace events through it when enabled
+        self.tracer = NULL_TRACER
 
     # -- fault injection -------------------------------------------------------
 
@@ -200,6 +204,10 @@ class BlockDevice:
                 self._io.add("injected_tears")
                 raise DeviceCrashed(key, f"write {idx} torn; power lost")
         self._store(key, data, checksum=zlib.crc32(data))
+        if key.startswith("wal:"):
+            self._io.add("wal_bytes", len(data))
+        if self.tracer.enabled:
+            self.tracer.event("dev.write_record", key=key, nbytes=len(data))
 
     def _store(self, key: str, data: bytes, checksum: int) -> None:
         old = len(self._records.get(key, b""))
@@ -216,6 +224,9 @@ class BlockDevice:
     def read_record(self, key: str) -> Optional[bytes]:
         data = self._records.get(key)
         self.charge_meta_read()
+        if self.tracer.enabled:
+            self.tracer.event("dev.read_record", key=key,
+                              nbytes=len(data) if data is not None else 0)
         if data is None:
             return None
         self.charge_read(len(data))
@@ -252,6 +263,9 @@ class BlockDevice:
         data = self._records.pop(key, None)
         self._sums.pop(key, None)
         self.charge_meta_write()
+        if self.tracer.enabled:
+            self.tracer.event("dev.delete_record", key=key,
+                              existed=data is not None)
         if data is None:
             return False
         self._meta_bytes -= len(data)

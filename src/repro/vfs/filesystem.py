@@ -31,6 +31,7 @@ from repro.errors import (
     NotADirectory,
     SymlinkLoop,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.util import pathutil
 from repro.util.clock import VirtualClock
 from repro.util.stats import Counters
@@ -119,6 +120,9 @@ class FileSystem:
         #: optional hooks fired after mutating operations; the HAC layer and
         #: tests subscribe.  Signature: callback(event: str, **details).
         self.observers: List[Callable[..., None]] = []
+        #: observability hook (wired by HacFileSystem); syscalls emit trace
+        #: events through it when enabled — one attribute check when not
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # internals
@@ -156,6 +160,8 @@ class FileSystem:
         """Resolve *path* to its node, following mounts (and symlinks unless
         ``follow=False`` for the final component)."""
         self._ops.add("namei")
+        if self.tracer.enabled:
+            self.tracer.event("vfs.namei", path=path)
         fs, node = self._walk(path, follow_last=follow)
         return Resolved(fs, node)
 
@@ -228,6 +234,8 @@ class FileSystem:
 
     def mkdir(self, path: str, mode: int = 0o755) -> StatResult:
         self._ops.add("mkdir")
+        if self.tracer.enabled:
+            self.tracer.event("vfs.mkdir", path=path)
         fs, parent, name = self._resolve_parent(path)
         if parent.lookup(name) is not None:
             raise FileExists(path)
@@ -305,6 +313,8 @@ class FileSystem:
     def write_file(self, path: str, data: bytes, append: bool = False) -> int:
         """Whole-file write helper; creates the file when missing."""
         self._ops.add("write_file")
+        if self.tracer.enabled:
+            self.tracer.event("vfs.write_file", path=path, nbytes=len(data))
         if isinstance(data, str):
             raise InvalidArgument(path, "write_file takes bytes")
         created = False
@@ -342,6 +352,8 @@ class FileSystem:
 
     def read_file(self, path: str) -> bytes:
         self._ops.add("read_file")
+        if self.tracer.enabled:
+            self.tracer.event("vfs.read_file", path=path)
         res = self.resolve(path)
         node = res.node
         if node.is_dir:
@@ -368,6 +380,8 @@ class FileSystem:
 
     def unlink(self, path: str) -> None:
         self._ops.add("unlink")
+        if self.tracer.enabled:
+            self.tracer.event("vfs.unlink", path=path)
         fs, parent, name = self._resolve_parent(path)
         node = parent.lookup(name)
         if node is None:
@@ -418,6 +432,8 @@ class FileSystem:
         """POSIX-style rename; replaces same-kind targets, refuses to move a
         directory into its own subtree or across mount boundaries."""
         self._ops.add("rename")
+        if self.tracer.enabled:
+            self.tracer.event("vfs.rename", old=old, new=new)
         old_norm = pathutil.normalize(old)
         new_norm = pathutil.normalize(new)
         if old_norm == "/":

@@ -1,0 +1,127 @@
+"""Unit tests for the metrics registry and the Observability bundle."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.metrics import (DEFAULT_BOUNDS, Histogram, MetricsRegistry,
+                               NULL_METRICS)
+from repro.util.clock import VirtualClock
+from repro.util.stats import Counters
+
+
+class TestHistogram:
+    def test_buckets_and_overflow(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.counts == [1, 1, 1]
+        assert h.min_value == 0.5 and h.max_value == 50.0
+        assert h.mean == pytest.approx(55.5 / 3)
+
+    def test_bounds_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(10.0, 1.0))
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_to_obj(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        obj = h.to_obj()
+        assert obj["count"] == 2
+        assert obj["buckets"] == {"le_1": 1, "overflow": 1}
+        assert obj["min"] == 0.5 and obj["max"] == 2.0
+
+
+class TestMetricsRegistry:
+    def test_inc_always_lands_in_shared_counters(self):
+        counters = Counters()
+        metrics = MetricsRegistry(counters=counters)  # disabled
+        metrics.inc("cache.hits")
+        metrics.inc("cache.hits", 2)
+        assert counters.get("cache.hits") == 3
+
+    def test_observe_gated_by_enabled(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 1.0)
+        assert metrics.histogram("lat") is None
+        metrics.enable()
+        metrics.observe("lat", 1.0)
+        assert metrics.histogram("lat").count == 1
+        metrics.disable()
+        metrics.observe("lat", 1.0)
+        assert metrics.histogram("lat").count == 1
+
+    def test_time_on_virtual_clock(self):
+        clock = VirtualClock()
+        metrics = MetricsRegistry(clock=clock, enabled=True)
+        with metrics.time("op"):
+            clock.advance(3.0)
+        hist = metrics.histogram("op")
+        assert hist.count == 1
+        assert hist.total == pytest.approx(3.0)
+
+    def test_time_disabled_is_noop(self):
+        metrics = MetricsRegistry()
+        with metrics.time("op"):
+            pass
+        assert metrics.histograms() == {}
+
+    def test_snapshot_and_clear(self):
+        metrics = MetricsRegistry(enabled=True)
+        metrics.inc("c")
+        metrics.observe("h", 0.5)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["histograms"]["h"]["count"] == 1
+        metrics.clear_histograms()
+        assert metrics.histograms() == {}
+
+    def test_custom_bounds_first_observation_wins(self):
+        metrics = MetricsRegistry(enabled=True)
+        metrics.observe("h", 5.0, bounds=(10.0,))
+        assert metrics.histogram("h").bounds == (10.0,)
+
+    def test_null_metrics_shared_and_disabled(self):
+        assert not NULL_METRICS.enabled
+        assert DEFAULT_BOUNDS == tuple(sorted(DEFAULT_BOUNDS))
+
+
+class TestObservability:
+    def test_bundle_toggles_both(self):
+        obs = Observability()
+        assert not obs.enabled
+        obs.enable()
+        assert obs.trace.enabled and obs.metrics.enabled
+        assert obs.enabled
+        obs.disable()
+        assert not (obs.trace.enabled or obs.metrics.enabled)
+
+    def test_shared_clock_and_counters(self):
+        clock, counters = VirtualClock(), Counters()
+        obs = Observability(clock=clock, counters=counters, enabled=True)
+        obs.metrics.inc("x")
+        assert counters.get("x") == 1
+        assert obs.trace.clock is clock
+
+    def test_snapshot_includes_span_breakdown(self):
+        obs = Observability(enabled=True)
+        with obs.trace.span("op"):
+            pass
+        snap = obs.snapshot()
+        assert set(snap) == {"counters", "histograms", "spans",
+                             "spans_dropped"}
+        assert snap["spans"]["op"]["count"] == 1
+        assert snap["spans_dropped"] == 0
+
+    def test_clear_drops_spans_and_histograms(self):
+        obs = Observability(enabled=True)
+        with obs.trace.span("op"):
+            pass
+        obs.metrics.observe("h", 1.0)
+        obs.clear()
+        assert obs.trace.spans() == []
+        assert obs.metrics.histograms() == {}

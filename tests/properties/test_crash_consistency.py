@@ -14,6 +14,12 @@ never admitted is a partial one.
 
 ``CRASH_SWEEP_SEED`` (CI matrix) varies the world layout so the sweep does
 not overfit one record-write schedule.
+
+The sweep also pins the journal↔trace correlation contract: the crashed
+run captures spans, and every intent the subsequent recovery rolls back
+must match (by journal sequence = span op id) both the root span of the
+operation that wrote it and a ``journal.rollback`` span emitted during
+recovery.
 """
 
 import os
@@ -22,15 +28,18 @@ import pytest
 
 from repro.errors import DeviceCrashed
 from repro.core.hacfs import HacFileSystem
+from repro.obs import Observability
 from repro.vfs.blockdev import FaultPlan
 
 SEED = int(os.environ.get("CRASH_SWEEP_SEED", "0"))
 
 
-def build_world() -> HacFileSystem:
+def build_world(trace: bool = False) -> HacFileSystem:
     """A small deterministic world: local corpus, one semantic dir, one
     empty victim dir.  Layout varies slightly with the sweep seed."""
     hac = HacFileSystem()
+    if trace:
+        hac.obs.enable()
     hac.makedirs("/docs")
     hac.write_file("/docs/a.txt", b"fingerprint ridge analysis notes\n")
     hac.write_file("/docs/b.txt", b"banana bread recipe\n")
@@ -154,13 +163,36 @@ def _writes_used(op_name) -> int:
     return hac.fs.device.record_write_index - start
 
 
+def _assert_rollbacks_correlate(op_name, offset, crashed, recovery_obs,
+                                report):
+    """Journal seq ↔ span op id, both ways: each rolled-back intent must
+    match the crashed run's root span (stamped at ``begin``) and a
+    ``journal.rollback`` span emitted during recovery."""
+    trace = crashed.obs.trace
+    begin_seqs = {s.op_id for s in trace.spans(name="journal.begin")}
+    for seq, op in report.rolled_back:
+        where = (op_name, offset, seq, op)
+        assert seq in begin_seqs, where
+        roots = [s for s in trace.spans(op_id=seq) if s.parent_id is None]
+        assert len(roots) == 1, where
+        assert roots[0].name == f"hac.{op}", (where, roots[0].name)
+        rollbacks = recovery_obs.trace.spans(name="journal.rollback",
+                                             op_id=seq)
+        assert len(rollbacks) == 1, where
+    # and no rollback span without a recovered intent behind it
+    rolled_seqs = {seq for seq, _op in report.rolled_back}
+    for span in recovery_obs.trace.spans(name="journal.rollback"):
+        assert span.op_id in rolled_seqs, (op_name, offset, span.op_id)
+
+
 @pytest.mark.parametrize("op_name", sorted(OPERATIONS))
 def test_crash_sweep(op_name):
     mutate, state_of = OPERATIONS[op_name]
     n_writes = _writes_used(op_name)
     assert n_writes > 0, f"{op_name} is not journaled (no record writes)"
+    rollbacks_seen = 0
     for offset in range(n_writes):
-        hac = build_world()
+        hac = build_world(trace=True)
         dev = hac.fs.device
         dev.set_fault_plan(
             FaultPlan(crash_at=dev.record_write_index + offset))
@@ -170,11 +202,18 @@ def test_crash_sweep(op_name):
         except DeviceCrashed:
             raised = True
         assert raised, (op_name, offset)  # the sweep covers every write
-        restored = HacFileSystem.restore(hac.fs)
+        recovery_obs = Observability(enabled=True)
+        restored = HacFileSystem.restore(hac.fs, obs=recovery_obs)
         errors = [f for f in restored.fsck() if f.severity == "error"]
         assert errors == [], (op_name, offset, [str(f) for f in errors])
         state = state_of(restored)
         assert state != "partial", (op_name, offset)
+        _assert_rollbacks_correlate(op_name, offset, hac, recovery_obs,
+                                    restored.last_recovery)
+        rollbacks_seen += len(restored.last_recovery.rolled_back)
+    # a sweep that never rolled anything back would vacuously pass the
+    # correlation contract; every journaled op crashes mid-intent somewhere
+    assert rollbacks_seen > 0, op_name
 
 
 @pytest.mark.parametrize("op_name", ["smkdir", "set_query"])

@@ -80,3 +80,40 @@ class TestDispatch:
 
     def test_quit(self, shell):
         assert execute(shell, "quit") is None
+
+
+class TestObservabilityCommands:
+    @pytest.fixture()
+    def shell(self):
+        # fresh world per test: these commands mutate trace state
+        return build_demo_shell()
+
+    def test_hacstat_counters_and_prefix_filter(self, shell):
+        out = execute(shell, "hacstat")
+        assert "counter" in out and "vfs." in out
+        filtered = execute(shell, "hacstat engine")
+        assert "engine." in filtered and "vfs." not in filtered
+
+    def test_trace_lifecycle(self, shell):
+        assert "try 'trace on'" in execute(shell, "trace show")
+        assert execute(shell, "trace on") == "tracing on"
+        execute(shell, "mkdir /traced")
+        shown = execute(shell, "trace show hac.mkdir")
+        assert '"name": "hac.mkdir"' in shown
+        assert execute(shell, "trace off") == "tracing off"
+        assert execute(shell, "trace clear") == "trace buffer cleared"
+        assert "try 'trace on'" in execute(shell, "trace show")
+
+    def test_trace_export_writes_jsonl(self, shell):
+        execute(shell, "trace on")
+        execute(shell, "mkdir /t")
+        out = execute(shell, "trace export /trace.jsonl")
+        assert "spans" in out
+        dump = execute(shell, "cat /trace.jsonl")
+        assert '"name": "vfs.namei"' in dump
+
+    def test_trace_usage_errors(self, shell):
+        # bare `trace` defaults to show
+        assert "try 'trace on'" in execute(shell, "trace")
+        assert "unknown trace subcommand" in execute(shell, "trace bogus")
+        assert "usage:" in execute(shell, "trace export")

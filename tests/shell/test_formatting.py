@@ -1,6 +1,7 @@
 """Listing/table formatting."""
 
-from repro.shell.formatting import long_listing, mode_string, render_table
+from repro.shell.formatting import (long_listing, mode_string,
+                                    render_metrics, render_table)
 from repro.vfs.inode import InodeType
 
 
@@ -43,3 +44,40 @@ class TestRenderTable:
         assert lines[2].startswith("alpha")
         # columns align
         assert lines[2].index("1") == lines[3].index("2")
+
+
+class TestRenderMetrics:
+    SNAPSHOT = {
+        "counters": {"vfs.namei": 12, "engine.indexed": 3},
+        "histograms": {"cba.candidate_blocks": {
+            "count": 2, "sum": 6.0, "mean": 3.0, "min": 2.0, "max": 4.0,
+            "buckets": {"le_10": 2, "overflow": 0}}},
+        "spans": {"vfs.write_file": {
+            "count": 5, "wall_ms": 1.25, "self_ms": 0.75}},
+        "spans_dropped": 0,
+    }
+
+    def test_full_snapshot_sections(self):
+        out = render_metrics(self.SNAPSHOT)
+        counters, hists, spans = out.split("\n\n")
+        assert counters.startswith("counter") and "vfs.namei" in counters
+        assert "12" in counters
+        assert hists.startswith("histogram")
+        assert "cba.candidate_blocks" in hists and "3" in hists
+        assert spans.startswith("span")
+        assert "1.250" in spans and "0.750" in spans
+
+    def test_counters_sorted(self):
+        out = render_metrics({"counters": {"b.x": 1, "a.y": 2}})
+        assert out.index("a.y") < out.index("b.x")
+
+    def test_dropped_line_only_when_nonzero(self):
+        assert "spans dropped" not in render_metrics(self.SNAPSHOT)
+        snap = dict(self.SNAPSHOT, spans_dropped=7)
+        assert "spans dropped: 7" in render_metrics(snap)
+
+    def test_empty_snapshot(self):
+        assert render_metrics({}) == "(no metrics recorded)"
+        assert render_metrics({"counters": {}, "histograms": {},
+                               "spans": {}, "spans_dropped": 0}) \
+            == "(no metrics recorded)"

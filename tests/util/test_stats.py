@@ -53,3 +53,39 @@ class TestCounters:
         c = Counters()
         c.add("n", 2)
         assert "n=2" in repr(c)
+
+    def test_total_counts_exact_name_and_trailing_dot(self):
+        c = Counters()
+        c.add("io", 1)          # exact name counts
+        c.add("io.read", 2)
+        assert c.total("io") == 3
+        assert c.total("io.") == 2  # a trailing dot means prefix-only
+
+    def test_diff_ignores_unchanged(self):
+        c = Counters()
+        c.add("x", 1)
+        c.add("y", 1)
+        before = c.snapshot()
+        c.add("y", 4)
+        assert c.diff(before) == {"y": 4}
+
+    def test_snapshot_is_independent(self):
+        c = Counters()
+        c.add("x", 1)
+        snap = c.snapshot()
+        c.add("x", 1)
+        assert snap == {"x": 1}
+        snap["x"] = 99          # mutating the snapshot must not leak back
+        assert c.get("x") == 2
+
+
+class TestScopedCounters:
+    def test_get_through_scope(self):
+        c = Counters()
+        c.add("rpc.search.calls", 3)
+        assert c.scoped("rpc").scoped("search").get("calls") == 3
+
+    def test_trailing_dot_in_prefix_is_normalised(self):
+        c = Counters()
+        c.scoped("glimpse.").add("scans")
+        assert c.get("glimpse.scans") == 1

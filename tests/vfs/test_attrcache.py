@@ -52,6 +52,35 @@ class TestAttributeCache:
         cache.put("/f", Attributes(mode=0o644))
         assert cache.approximate_bytes() > 0
 
+    def test_clear(self):
+        cache = AttributeCache()
+        cache.put("/f", Attributes(mode=0o644))
+        cache.put("/g", Attributes(mode=0o644))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("/f") is None
+
+    def test_hit_rate(self):
+        cache = AttributeCache()
+        cache.put("/f", Attributes(mode=0o644))
+        cache.get("/f")
+        cache.get("/f")
+        cache.get("/miss")
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalidate_missing_key_is_harmless(self):
+        cache = AttributeCache()
+        cache.invalidate("/never")  # must not raise
+        assert len(cache) == 0
+
+    def test_invalidate_counter(self):
+        counters = Counters()
+        cache = AttributeCache(counters=counters)
+        cache.put("/f", Attributes(mode=0o644))
+        cache.invalidate("/f")
+        assert counters.get("attrcache.invalidate") == 1
+        assert counters.get("attrcache.put") == 1
+
 
 class TestBlockDevice:
     def test_block_size_positive(self):
