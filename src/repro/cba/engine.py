@@ -157,14 +157,27 @@ class CBAEngine:
         return terms
 
     def index_document(self, key: Hashable, path: str, mtime: float,
-                       text: Optional[str] = None) -> int:
-        """Add a new document; returns its doc id."""
+                       text: Optional[str] = None,
+                       doc_id: Optional[int] = None) -> int:
+        """Add a new document; returns its doc id.
+
+        *doc_id* pins an externally assigned id instead of the dense
+        default.  The cluster coordinator indexes each shard's documents
+        under their *global* ids so block assignment (``doc_id %
+        num_blocks``) — and with it every candidate-block computation —
+        matches the monolithic engine bit-for-bit.
+        """
         if key in self._by_key:
             raise ValueError(f"document already indexed: {key!r}")
         if text is None:
             text = self.loader(key)
-        doc_id = self._next_doc_id
-        self._next_doc_id += 1
+        if doc_id is None:
+            doc_id = self._next_doc_id
+            self._next_doc_id += 1
+        else:
+            if doc_id in self._docs:
+                raise ValueError(f"doc id already in use: {doc_id}")
+            self._next_doc_id = max(self._next_doc_id, doc_id + 1)
         grew = self.index.add(doc_id, self._terms_of(text, path))
         self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
         self._by_key[key] = doc_id
@@ -441,6 +454,47 @@ class CBAEngine:
                     self._cache.popitem(last=False)
             return result
 
+    def search_blocks(self, query: Node, blocks: Bitmap,
+                      scope: Optional[Bitmap] = None) -> Bitmap:
+        """Verify an externally planned *query* against externally
+        nominated candidate *blocks* — the shard half of the cluster's
+        scatter-gather protocol.
+
+        The coordinator has already normalised and selectivity-ordered the
+        query and evaluated candidate blocks *globally* (over the union of
+        every shard's term→block postings), so this entry point must not
+        replan and must not substitute this shard's own, narrower block
+        candidacy: a term absent from this shard can still make one of its
+        blocks a candidate through a collocated document on another shard,
+        and the quirky stopword-region semantics depend on exactly that
+        collocation.  Results are not cached here — the answer depends on
+        *blocks*, which the coordinator owns.
+        """
+        self._stats.add("shard_searches")
+        if scope is not None and not scope:
+            return Bitmap()
+        with self.tracer.span("cba.search_blocks") as span:
+            universe = self.index.all_docs() if scope is None else scope
+            if isinstance(query, MatchAll):
+                span.set(mode="matchall", hits=len(universe))
+                return universe.copy()
+            candidates = self.index.docs_in_blocks(blocks)
+            candidates &= universe
+            if self.fast_path and self._postings_answerable(query):
+                with self.tracer.span("cba.postings"):
+                    result = self._postings_eval(query) & universe
+                self._stats.add("postings_answers")
+                self._stats.add("docs_scan_avoided", len(candidates))
+                span.set(mode="postings")
+            else:
+                with self.tracer.span("cba.scan", candidates=len(candidates)):
+                    result = self._scan(query, candidates)
+                span.set(mode="scan")
+                self.metrics.observe("cba.scan_docs", len(candidates))
+            span.set(blocks=len(blocks), candidates=len(candidates),
+                     hits=len(result))
+            return result
+
     def _scan(self, query: Node, candidates: Bitmap) -> Bitmap:
         """Verify *candidates* against *query*, memo-skipping unchanged docs."""
         needs_pairs = self.transducer is not None and has_field_terms(query)
@@ -525,11 +579,12 @@ class CBAEngine:
     def from_obj(cls, obj, loader: Callable[[Hashable], str],
                  transducer: Optional[Transducer] = None,
                  counters: Optional[Counters] = None,
-                 fast_path: bool = True) -> "CBAEngine":
+                 fast_path: bool = True,
+                 cache_size: int = 64) -> "CBAEngine":
         """Rebuild an engine from :meth:`to_obj` output without re-reading
         or re-tokenising a single document."""
         engine = cls(loader=loader, transducer=transducer, counters=counters,
-                     fast_path=fast_path)
+                     fast_path=fast_path, cache_size=cache_size)
         engine.index = GlimpseIndex.from_obj(obj["index"],
                                              counters=engine.counters,
                                              track_doc_postings=fast_path)

@@ -20,7 +20,7 @@ This module implements that structure:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Callable, Dict, Iterable, Optional, Set
 
 from repro.util.bitmap import Bitmap
 from repro.util.stats import Counters
@@ -39,6 +39,86 @@ from repro.cba.queryast import (
 )
 
 DEFAULT_NUM_BLOCKS = 64
+
+
+def eval_blocks(node: Node, term_blocks: Callable[[str], Bitmap],
+                all_blocks: Bitmap) -> Bitmap:
+    """Block-granularity evaluation of a query AST.
+
+    *term_blocks(term)* returns a caller-owned bitmap of blocks whose
+    member documents carry *term* (empty when the term is unknown);
+    *all_blocks* is the occupied block set.  Factored out of
+    :class:`GlimpseIndex` so the cluster coordinator can evaluate the same
+    algebra over the *union* of every shard's term→block postings: with
+    global doc ids the blocks line up across shards, and candidate blocks
+    computed here once are exactly the monolithic engine's.
+    """
+    if isinstance(node, Term):
+        return term_blocks(node.word)
+    if isinstance(node, FieldTerm):
+        return term_blocks(f"{node.field}:{node.value}")
+    if isinstance(node, Phrase):
+        out = all_blocks.copy()
+        for word in node.words:
+            out &= term_blocks(word)
+            if not out:
+                break
+        return out
+    if isinstance(node, Approx):
+        # the exact-word index cannot bound an approximate term; every
+        # block is a candidate (agrep will pay for it, as in Glimpse)
+        return all_blocks.copy()
+    if isinstance(node, MatchAll):
+        return all_blocks.copy()
+    if isinstance(node, And):
+        out = all_blocks.copy()
+        for child in node.children:
+            out &= eval_blocks(child, term_blocks, all_blocks)
+            if not out:
+                break
+        return out
+    if isinstance(node, Or):
+        out = Bitmap()
+        for child in node.children:
+            out |= eval_blocks(child, term_blocks, all_blocks)
+        return out
+    if isinstance(node, Not):
+        # at block granularity NOT cannot prune: a block containing the
+        # negated word may still hold documents without it
+        return all_blocks.copy()
+    if isinstance(node, DirRef):
+        raise TypeError("DirRef reached the block index; the evaluator "
+                        "must resolve directory references first")
+    raise TypeError(f"unknown query node: {type(node).__name__}")
+
+
+def estimate_docs(node: Node, df: Callable[[str], int], total: int) -> int:
+    """Upper-bound-ish estimate of matching documents for *node*.
+
+    *df(term)* is the exact document frequency, *total* the corpus size.
+    Everything the index cannot bound (Approx, Not, MatchAll, DirRef)
+    pessimistically estimates the whole corpus.  Module-level so the
+    cluster coordinator can run the identical estimator over summed
+    per-shard frequencies — document frequencies and corpus sizes are
+    additive over a partition, so the coordinator's estimates (and hence
+    the planner's stable sort) match the monolithic engine exactly.
+    """
+    if isinstance(node, Term):
+        return df(node.word)
+    if isinstance(node, FieldTerm):
+        return df(f"{node.field}:{node.value}")
+    if isinstance(node, Phrase):
+        if not node.words:
+            return total
+        return min(df(w) for w in node.words)
+    if isinstance(node, And):
+        if not node.children:
+            return total
+        return min(estimate_docs(c, df, total) for c in node.children)
+    if isinstance(node, Or):
+        return min(total, sum(estimate_docs(c, df, total)
+                              for c in node.children))
+    return total
 
 
 class GlimpseIndex:
@@ -196,50 +276,20 @@ class GlimpseIndex:
         return blocks
 
     def _blocks(self, node: Node) -> Bitmap:
-        if isinstance(node, Term):
-            tid = self.lexicon.lookup(node.word)
-            if tid is None:
-                return Bitmap()
-            return self._postings[tid].copy()
-        if isinstance(node, FieldTerm):
-            tid = self.lexicon.lookup(f"{node.field}:{node.value}")
-            if tid is None:
-                return Bitmap()
-            return self._postings[tid].copy()
-        if isinstance(node, Phrase):
-            out = self._all_blocks.copy()
-            for word in node.words:
-                tid = self.lexicon.lookup(word)
-                if tid is None:
-                    return Bitmap()
-                out &= self._postings[tid]
-            return out
-        if isinstance(node, Approx):
-            # the exact-word index cannot bound an approximate term; every
-            # block is a candidate (agrep will pay for it, as in Glimpse)
-            return self._all_blocks.copy()
-        if isinstance(node, MatchAll):
-            return self._all_blocks.copy()
-        if isinstance(node, And):
-            out = self._all_blocks.copy()
-            for child in node.children:
-                out &= self._blocks(child)
-                if not out:
-                    break
-            return out
-        if isinstance(node, Or):
-            out = Bitmap()
-            for child in node.children:
-                out |= self._blocks(child)
-            return out
-        if isinstance(node, Not):
-            # at block granularity NOT cannot prune: a block containing the
-            # negated word may still hold documents without it
-            return self._all_blocks.copy()
-        if isinstance(node, DirRef):
-            raise TypeError("DirRef reached the block index; the evaluator "
-                            "must resolve directory references first")
-        raise TypeError(f"unknown query node: {type(node).__name__}")
+        return eval_blocks(node, self.blocks_with_term, self._all_blocks)
+
+    def blocks_with_term(self, term: str) -> Bitmap:
+        """Blocks whose member documents carry *term* (a fresh bitmap;
+        empty when the term is unknown).  The per-term granularity the
+        cluster coordinator unions across shards."""
+        tid = self.lexicon.lookup(term)
+        if tid is None:
+            return Bitmap()
+        return self._postings[tid].copy()
+
+    def occupied_blocks(self) -> Bitmap:
+        """Copy of the occupied block set."""
+        return self._all_blocks.copy()
 
     def docs_in_blocks(self, blocks: Bitmap) -> Bitmap:
         """Union of member documents across *blocks*."""
@@ -284,28 +334,11 @@ class GlimpseIndex:
     def estimate_docs(self, node: Node) -> int:
         """Upper-bound-ish estimate of matching documents for *node*.
 
-        Term/FieldTerm read exact document frequencies from the lexicon;
-        everything the index cannot bound (Approx, Not, MatchAll, DirRef)
-        pessimistically estimates the whole corpus.  Only used for ordering
+        Term/FieldTerm read exact document frequencies from the lexicon
+        (see module-level :func:`estimate_docs`).  Only used for ordering
         conjunctions — never for answering queries — so coarseness is fine.
         """
-        total = len(self._doc_terms)
-        if isinstance(node, Term):
-            return self.lexicon.df(node.word)
-        if isinstance(node, FieldTerm):
-            return self.lexicon.df(f"{node.field}:{node.value}")
-        if isinstance(node, Phrase):
-            if not node.words:
-                return total
-            return min(self.lexicon.df(w) for w in node.words)
-        if isinstance(node, And):
-            if not node.children:
-                return total
-            return min(self.estimate_docs(c) for c in node.children)
-        if isinstance(node, Or):
-            return min(total, sum(self.estimate_docs(c)
-                                  for c in node.children))
-        return total
+        return estimate_docs(node, self.lexicon.df, len(self._doc_terms))
 
     # ------------------------------------------------------------------
     # reporting

@@ -1,0 +1,91 @@
+"""Document → shard placement by rendezvous (highest-random-weight) hashing.
+
+The cluster partitions the corpus across K independent Glimpse shards.
+Placement must be deterministic (two coordinators over the same corpus
+agree), balanced-ish under skewed key distributions, and — critically for
+rebalancing — *minimal*: adding a shard moves only the documents the new
+shard wins, and removing a shard moves only the documents it owned.
+Rendezvous hashing gives all three with no ring state to persist: every
+``(shard, key)`` pair gets a stable score from a keyed blake2b digest, and
+a key lives on the highest-scoring shard.
+
+:meth:`ShardMap.moves` diffs two maps over a key set and returns the
+deterministic moved-doc list the coordinator turns into per-shard reindex
+plans (see :mod:`repro.cluster.coordinator`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Iterable, List, NamedTuple, Tuple
+
+
+class Move(NamedTuple):
+    """One document changing owners during a rebalance."""
+
+    key: Hashable
+    source: str
+    dest: str
+
+
+def _score(shard_id: str, key: Hashable) -> int:
+    """Stable 64-bit weight of placing *key* on *shard_id*.
+
+    ``repr`` of the key is part of the digest input, so any hashable key
+    shape HAC uses — ``(fsid, ino)`` pairs, strings, ints — scores
+    deterministically across processes (unlike built-in ``hash``, which is
+    salted per run for strings).
+    """
+    raw = f"{shard_id}|{key!r}".encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(raw, digest_size=8).digest(), "big")
+
+
+class ShardMap:
+    """An immutable set of shard ids plus the placement function."""
+
+    def __init__(self, shard_ids: Iterable[str]):
+        ids = list(shard_ids)
+        if not ids:
+            raise ValueError("a shard map needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate shard ids")
+        self.shard_ids: Tuple[str, ...] = tuple(ids)
+
+    def owner(self, key: Hashable) -> str:
+        """The shard owning *key* — highest rendezvous score wins; the
+        shard id itself breaks (astronomically unlikely) score ties, so
+        ownership is a pure function of (shard set, key)."""
+        return max(self.shard_ids, key=lambda sid: (_score(sid, key), sid))
+
+    def with_shard(self, shard_id: str) -> "ShardMap":
+        if shard_id in self.shard_ids:
+            raise ValueError(f"shard already present: {shard_id}")
+        return ShardMap(self.shard_ids + (shard_id,))
+
+    def without_shard(self, shard_id: str) -> "ShardMap":
+        if shard_id not in self.shard_ids:
+            raise KeyError(f"no such shard: {shard_id}")
+        if len(self.shard_ids) == 1:
+            raise ValueError("cannot remove the last shard")
+        return ShardMap(sid for sid in self.shard_ids if sid != shard_id)
+
+    def moves(self, new_map: "ShardMap",
+              keys: Iterable[Hashable]) -> List[Move]:
+        """Documents whose owner differs between this map and *new_map*,
+        in the (deterministic) order of *keys*."""
+        out: List[Move] = []
+        for key in keys:
+            source = self.owner(key)
+            dest = new_map.owner(key)
+            if source != dest:
+                out.append(Move(key, source, dest))
+        return out
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self.shard_ids
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def __repr__(self) -> str:
+        return f"ShardMap({list(self.shard_ids)!r})"

@@ -111,11 +111,18 @@ class ConsistencyManager:
         parent_path = pathutil.dirname(path)
         scope = self.hacfs.scopes.provided(parent_path)
 
-        # 1. re-evaluate the query over the current scope
+        # 1. re-evaluate the query over the current scope.  A sharded
+        # engine accumulates the shards it could not reach during the
+        # evaluation, so bracket it: reset before, harvest after.
+        engine = self.hacfs.engine
+        reset_missing = getattr(engine, "reset_missing_shards", None)
+        if reset_missing is not None:
+            reset_missing()
         local_hits = evaluator.evaluate(
-            state.query, self.hacfs.engine,
+            state.query, engine,
             resolve_dirref=self._dirref_local, scope=scope.local)
         remote_hits = self._remote_matches(state, scope)
+        missing: Set[str] = set(getattr(engine, "missing_shards", ()) or ())
 
         # 2. discard permanent and prohibited targets; the rest is transient
         permanent = set(state.links.permanent.values())
@@ -131,6 +138,28 @@ class ConsistencyManager:
             target = Target.from_remote_id(rid)
             if target not in permanent and target not in state.links.prohibited:
                 new_targets.add(target)
+
+        # degrade gracefully over missing shards, mirroring the remote
+        # back-end policy: local links whose document lives on a shard the
+        # evaluation could not reach are kept last-known-good ("stale
+        # beats lost") and the directory is flagged until a whole
+        # evaluation succeeds again
+        if missing:
+            self._stats.add("partial_evaluations")
+            for target in state.links.transient.values():
+                if target.is_local and target not in new_targets \
+                        and target not in permanent \
+                        and target not in state.links.prohibited \
+                        and engine.shard_of(target.key) in missing:
+                    new_targets.add(target)
+            for shard_id in sorted(missing):
+                if shard_id not in state.stale_shards:
+                    state.stale_shards[shard_id] = self.hacfs.clock.now
+                    self._stats.add("shard_degradations")
+        for shard_id in list(state.stale_shards):
+            if shard_id not in missing:
+                del state.stale_shards[shard_id]
+                self._stats.add("shard_recoveries")
 
         changed = self._apply_transient(path, state, new_targets)
         # the stored N/8-byte result: the directory's *current* local result

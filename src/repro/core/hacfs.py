@@ -71,7 +71,8 @@ class HacFileSystem:
                  num_blocks: int = 64,
                  attr_cache_capacity: int = 256,
                  fast_path: bool = True,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 engine_factory=None):
         self.counters = counters if counters is not None else Counters()
         self.clock = clock if clock is not None else VirtualClock()
         #: the observability plane — disabled by default; enable with
@@ -87,10 +88,22 @@ class HacFileSystem:
                                tracer=self.obs.trace)
         self.last_recovery = None
         self.depgraph = DependencyGraph()
-        self.engine = CBAEngine(loader=self._load_doc, num_blocks=num_blocks,
-                                transducer=default_transducer,
-                                counters=self.counters,
-                                fast_path=fast_path)
+        # the engine seam: anything honouring the CBAEngine protocol works
+        # here — a ShardedSearchCluster via repro.cluster.ClusterFactory,
+        # for instance (the paper's CBA generality argument, §2.2)
+        if engine_factory is not None:
+            self.engine = engine_factory(loader=self._load_doc,
+                                         counters=self.counters,
+                                         clock=self.clock,
+                                         transducer=default_transducer,
+                                         num_blocks=num_blocks,
+                                         fast_path=fast_path)
+        else:
+            self.engine = CBAEngine(loader=self._load_doc,
+                                    num_blocks=num_blocks,
+                                    transducer=default_transducer,
+                                    counters=self.counters,
+                                    fast_path=fast_path)
         self.semmounts = SemanticMountTable(uid_of=self.dirmap.uid_of,
                                             path_of=self.dirmap.path_of)
         self.scopes = ScopeResolver(self)
@@ -639,12 +652,27 @@ class HacFileSystem:
         return dict(state.stale_remote)
 
     def stale_links(self, path: str) -> List[str]:
-        """Names of transient links whose back-end is currently unreachable
-        (the links still resolve — they are kept, just flagged stale)."""
+        """Names of transient links whose back-end — a remote name space or
+        a local search-cluster shard — is currently unreachable (the links
+        still resolve — they are kept, just flagged stale)."""
         _uid, state = self._state_of(path)
         stale_ns = set(state.stale_remote)
-        return sorted(name for name, t in state.links.transient.items()
-                      if t.is_remote and t.realm in stale_ns)
+        out = [name for name, t in state.links.transient.items()
+               if t.is_remote and t.realm in stale_ns]
+        stale_shards = set(state.stale_shards)
+        if stale_shards:
+            shard_of = getattr(self.engine, "shard_of", None)
+            if shard_of is not None:
+                out.extend(name for name, t in state.links.transient.items()
+                           if t.is_local and shard_of(t.key) in stale_shards)
+        return sorted(out)
+
+    def stale_shards(self, path: str) -> Dict[str, float]:
+        """Search-cluster shards this directory is degrading for: shard id
+        → virtual time since its contributions are last-known-good rather
+        than live (mirrors :meth:`stale_remote` for the local engine)."""
+        _uid, state = self._state_of(path)
+        return dict(state.stale_shards)
 
     def classify(self, link_path: str) -> Optional[str]:
         """'permanent' | 'transient' | None for one directory entry."""
@@ -823,6 +851,18 @@ class HacFileSystem:
         self._hac.add("unwatch")
         return self.watches.remove(path)
 
+    def adopt_engine(self, engine) -> None:
+        """Swap in a different CBA engine — e.g. a freshly built
+        :class:`~repro.cluster.ShardedSearchCluster` (the shell's
+        ``smkcluster``) — and bring it in line with the tree: the new
+        engine is wired into the observability plane, the corpus is
+        (re)indexed into it, and every semantic directory is re-evaluated.
+        """
+        self._hac.add("adopt_engine")
+        self.engine = engine
+        self._wire_obs()
+        self.ssync("/")
+
     # ==================================================================
     # reporting / durability
     # ==================================================================
@@ -865,7 +905,8 @@ class HacFileSystem:
                 counters: Optional[Counters] = None,
                 reuse_index: bool = True,
                 fast_path: bool = True,
-                obs: Optional[Observability] = None) -> "HacFileSystem":
+                obs: Optional[Observability] = None,
+                engine_factory=None) -> "HacFileSystem":
         """Rebuild a HAC file system from the records persisted on *fs*'s
         device (crash recovery / reopen).
 
@@ -935,11 +976,33 @@ class HacFileSystem:
                 restore_stats.add("index_corrupt")
                 raise
         if saved is not None:
-            hacfs.engine = CBAEngine.from_obj(
-                saved, loader=hacfs._load_doc,
-                transducer=default_transducer, counters=hacfs.counters,
-                fast_path=fast_path)
+            if engine_factory is not None:
+                hacfs.engine = engine_factory.from_obj(
+                    saved, loader=hacfs._load_doc,
+                    transducer=default_transducer, counters=hacfs.counters,
+                    clock=hacfs.clock, fast_path=fast_path)
+            elif isinstance(saved, dict) and saved.get("cluster"):
+                # a persisted sharded index restores as a cluster even when
+                # the caller did not pass the factory it was built with
+                from repro.cluster import ShardedSearchCluster
+
+                hacfs.engine = ShardedSearchCluster.from_obj(
+                    saved, loader=hacfs._load_doc,
+                    transducer=default_transducer, counters=hacfs.counters,
+                    clock=hacfs.clock, fast_path=fast_path)
+            else:
+                hacfs.engine = CBAEngine.from_obj(
+                    saved, loader=hacfs._load_doc,
+                    transducer=default_transducer, counters=hacfs.counters,
+                    fast_path=fast_path)
             restore_stats.add("index_restored")
+        elif engine_factory is not None:
+            hacfs.engine = engine_factory(loader=hacfs._load_doc,
+                                          counters=hacfs.counters,
+                                          clock=hacfs.clock,
+                                          transducer=default_transducer,
+                                          fast_path=fast_path)
+            restore_stats.add("index_rebuilds")
         else:
             hacfs.engine = CBAEngine(loader=hacfs._load_doc,
                                      transducer=default_transducer,

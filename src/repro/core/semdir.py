@@ -30,7 +30,7 @@ class SemanticDirState:
     """Everything HAC knows about one directory beyond the VFS itself."""
 
     __slots__ = ("uid", "query", "query_text", "links", "result_cache",
-                 "stale_remote")
+                 "stale_remote", "stale_shards")
 
     def __init__(self, uid: int):
         self.uid = uid
@@ -45,6 +45,10 @@ class SemanticDirState:
         #: namespace id → virtual time since when that back-end has been
         #: unreachable; its links are last-known-good ("stale") while listed
         self.stale_remote: Dict[str, float] = {}
+        #: search-cluster shard id → virtual time since when that shard has
+        #: been missing from this directory's evaluations (same degradation
+        #: contract as ``stale_remote``, for the local sharded engine)
+        self.stale_shards: Dict[str, float] = {}
 
     @property
     def is_semantic(self) -> bool:
@@ -58,6 +62,7 @@ class SemanticDirState:
             "links": self.links.to_obj(),
             "result": self.result_cache.to_bytes(),
             "stale": dict(self.stale_remote),
+            "stale_shards": dict(self.stale_shards),
         }
 
     @classmethod
@@ -68,9 +73,11 @@ class SemanticDirState:
         state.query_text = obj["query_text"]
         state.links = LinkSets.from_obj(obj["links"])
         state.result_cache = Bitmap.from_bytes(obj["result"])
-        # records written before staleness tracking lack the field
+        # records written before staleness tracking lack the fields
         state.stale_remote = {str(k): float(v)
                               for k, v in obj.get("stale", {}).items()}
+        state.stale_shards = {str(k): float(v)
+                              for k, v in obj.get("stale_shards", {}).items()}
         return state
 
     def __repr__(self):

@@ -49,6 +49,9 @@ class SharedDirectoryRegistry(NameSpace):
             else RpcTransport(namespace_id)
         self._records: Dict[str, PublishedDirectory] = {}
         self._engine = CBAEngine(loader=self._record_text)
+        #: monotonic version stamped as the engine mtime, so re-publishing
+        #: a directory is visible to mtime-snapshot staleness checks
+        self._version = 0
 
     # ------------------------------------------------------------------
 
@@ -67,12 +70,16 @@ class SharedDirectoryRegistry(NameSpace):
                          in hacfs.links(path).items())
         record_id = f"{user}:{path}"
         record = PublishedDirectory(record_id, user, path, query_text, entries)
+        self._version += 1
+        version = float(self._version)
         if record_id in self._records:
             self._records[record_id] = record
-            self._engine.update_document(record_id, path=record_id, mtime=0.0)
+            self._engine.update_document(record_id, path=record_id,
+                                         mtime=version)
         else:
             self._records[record_id] = record
-            self._engine.index_document(record_id, path=record_id, mtime=0.0)
+            self._engine.index_document(record_id, path=record_id,
+                                        mtime=version)
         return record_id
 
     def withdraw(self, record_id: str) -> None:

@@ -36,6 +36,10 @@ class SimulatedSearchService(NameSpace):
         self._docs: Dict[str, str] = {}
         self._titles: Dict[str, str] = dict(titles or {})
         self._engine = CBAEngine(loader=self._load)
+        #: monotonic per-service version, stamped as the engine mtime so
+        #: updates are distinguishable from the original version to
+        #: incremental-reindex staleness checks (mtime snapshots diff)
+        self._version = 0
         for doc, text in (documents or {}).items():
             self.add_document(doc, text)
 
@@ -44,21 +48,50 @@ class SimulatedSearchService(NameSpace):
     def _load(self, key) -> str:
         return self._docs.get(key, "")
 
-    def add_document(self, doc: str, text: str, title: Optional[str] = None) -> None:
+    def _next_version(self) -> float:
+        self._version += 1
+        return float(self._version)
+
+    def add_document(self, doc: str, text: str, title: Optional[str] = None,
+                     clear_title: bool = False) -> None:
+        """Add or update *doc*.
+
+        Title contract: ``title=None`` on an update *keeps* the existing
+        title (callers re-publishing text need not re-supply it); pass
+        ``clear_title=True`` (or call :meth:`clear_title`) to drop it
+        explicitly.
+        """
+        if title is not None and clear_title:
+            raise ValueError("pass either title or clear_title, not both")
+        version = self._next_version()
         if doc in self._docs:
             self._docs[doc] = text
-            self._engine.update_document(doc, path=doc, mtime=0.0, text=text)
+            self._engine.update_document(doc, path=doc, mtime=version,
+                                         text=text)
         else:
             self._docs[doc] = text
-            self._engine.index_document(doc, path=doc, mtime=0.0, text=text)
+            self._engine.index_document(doc, path=doc, mtime=version,
+                                        text=text)
         if title is not None:
             self._titles[doc] = title
+        elif clear_title:
+            self._titles.pop(doc, None)
+
+    def clear_title(self, doc: str) -> None:
+        """Drop *doc*'s stored title (it falls back to the document name)."""
+        self._titles.pop(doc, None)
 
     def remove_document(self, doc: str) -> None:
         if doc in self._docs:
             del self._docs[doc]
             self._engine.remove_document(doc)
             self._titles.pop(doc, None)
+
+    def mtime_snapshot(self) -> Dict[str, float]:
+        """``{doc: version}`` as of now — the staleness baseline remote
+        mirrors diff against (versions are this service's monotonic
+        counter, not wall time)."""
+        return self._engine.mtime_snapshot()
 
     def __len__(self) -> int:
         return len(self._docs)

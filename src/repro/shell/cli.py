@@ -38,6 +38,8 @@ commands:
   sact LINK             show the matching lines behind a link
   ssync [PATH]          reindex + re-evaluate dependents
   smount PATH demo      mount the demo digital library semantically
+  smkcluster [K]        shard the content index across K engines (default 3)
+  shards                per-shard doc counts, health, and RPC traffic
   glimpse QUERY...      ad-hoc search
   swatch/sunwatch PATH  eager data consistency for a subtree
   fsck [--repair]       audit HAC's internal structures
@@ -141,6 +143,14 @@ def _dispatch(shell: HacShell, cmd: str, args: List[str]) -> Optional[str]:
         service = SimulatedSearchService("demolib", documents=_DEMO_LIBRARY_DOCS)
         shell.smount(path, service)
         return f"mounted demo library at {path}"
+    if cmd == "smkcluster":
+        return shell.smkcluster(int(args[0]) if args else 3)
+    if cmd == "shards":
+        rows = shell.shards()
+        if not rows:
+            return "(engine is not a cluster — try 'smkcluster')"
+        return "\n".join(f"{sid}  docs={docs}  {health}  calls={calls}"
+                         for sid, docs, health, calls in rows)
     if cmd == "glimpse":
         return "\n".join(shell.glimpse(" ".join(args)))
     if cmd == "swatch":

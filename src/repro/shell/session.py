@@ -169,6 +169,37 @@ class HacShell:
         """Audit HAC's structures; returns rendered findings."""
         return [str(f) for f in self.hacfs.fsck(repair=repair)]
 
+    # -- search cluster ----------------------------------------------------------
+
+    def smkcluster(self, shards: int = 3) -> str:
+        """Replace the CBA engine with a sharded search cluster and reindex
+        the corpus into it (semantic directories re-evaluate against the
+        cluster from here on)."""
+        from repro.cluster import ClusterFactory
+
+        hacfs = self.hacfs
+        old = hacfs.engine
+        num_blocks = getattr(old, "num_blocks", None) \
+            or old.index.num_blocks
+        factory = ClusterFactory(shards=shards)
+        cluster = factory(hacfs._load_doc, counters=hacfs.counters,
+                          clock=hacfs.clock, transducer=old.transducer,
+                          num_blocks=num_blocks, fast_path=old.fast_path)
+        hacfs.adopt_engine(cluster)
+        return (f"sharded cluster with {shards} shard(s), "
+                f"{len(cluster)} docs indexed")
+
+    def shards(self) -> List[Tuple[str, int, str, int]]:
+        """Per-shard rows ``(shard id, docs, health, rpc calls)`` — empty
+        when the engine is not a cluster."""
+        engine = self.hacfs.engine
+        if not hasattr(engine, "shards"):
+            return []
+        health = engine.health()
+        return [(sid, len(shard.engine), health[sid],
+                 int(shard.transport.calls))
+                for sid, shard in engine.shards.items()]
+
     # -- observability -----------------------------------------------------------
 
     def hacstat(self, prefix: str = "") -> dict:

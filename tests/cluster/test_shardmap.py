@@ -1,0 +1,110 @@
+"""Rendezvous-hashing shard map: determinism, coverage, minimal movement."""
+
+import pytest
+
+from repro.cluster.shardmap import Move, ShardMap, _score
+
+KEYS = [("fs", i) for i in range(200)]
+
+
+class TestPlacement:
+    def test_owner_is_deterministic_across_instances(self):
+        a = ShardMap(["s0", "s1", "s2"])
+        b = ShardMap(["s0", "s1", "s2"])
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_owner_ignores_declaration_order(self):
+        a = ShardMap(["s0", "s1", "s2"])
+        b = ShardMap(["s2", "s0", "s1"])
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_every_shard_owns_something(self):
+        smap = ShardMap([f"s{i}" for i in range(4)])
+        owners = {smap.owner(k) for k in KEYS}
+        assert owners == set(smap.shard_ids)
+
+    def test_balance_is_not_degenerate(self):
+        smap = ShardMap([f"s{i}" for i in range(4)])
+        counts = {sid: 0 for sid in smap.shard_ids}
+        for key in KEYS:
+            counts[smap.owner(key)] += 1
+        # rendezvous over 200 keys: no shard takes more than half
+        assert max(counts.values()) <= len(KEYS) // 2
+
+    def test_mixed_key_shapes_are_stable(self):
+        smap = ShardMap(["s0", "s1"])
+        for key in [("fs", 1), "doc-a", 17]:
+            assert smap.owner(key) == smap.owner(key)
+
+    def test_score_distinguishes_shards(self):
+        assert _score("s0", ("fs", 1)) != _score("s1", ("fs", 1))
+
+
+class TestRebalanceMoves:
+    def test_adding_a_shard_only_moves_docs_to_it(self):
+        old = ShardMap(["s0", "s1", "s2"])
+        new = old.with_shard("s3")
+        moves = old.moves(new, KEYS)
+        assert moves  # 200 keys over 4 shards: someone moves
+        assert all(m.dest == "s3" for m in moves)
+        assert all(m.source != "s3" for m in moves)
+
+    def test_removing_a_shard_only_moves_its_docs(self):
+        old = ShardMap(["s0", "s1", "s2"])
+        new = old.without_shard("s1")
+        moves = old.moves(new, KEYS)
+        owned = [k for k in KEYS if old.owner(k) == "s1"]
+        assert [m.key for m in moves] == owned
+        assert all(m.source == "s1" and m.dest != "s1" for m in moves)
+
+    def test_moves_preserve_key_order(self):
+        old = ShardMap(["s0", "s1"])
+        new = old.with_shard("s2")
+        moves = old.moves(new, KEYS)
+        positions = [KEYS.index(m.key) for m in moves]
+        assert positions == sorted(positions)
+
+    def test_unchanged_maps_move_nothing(self):
+        smap = ShardMap(["s0", "s1"])
+        assert smap.moves(ShardMap(["s0", "s1"]), KEYS) == []
+
+    def test_move_namedtuple_shape(self):
+        move = Move(("fs", 1), "s0", "s1")
+        assert move.key == ("fs", 1)
+        assert move.source == "s0"
+        assert move.dest == "s1"
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(["s0", "s0"])
+
+    def test_with_existing_shard_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(["s0"]).with_shard("s0")
+
+    def test_without_unknown_shard_rejected(self):
+        with pytest.raises(KeyError):
+            ShardMap(["s0"]).without_shard("s9")
+
+    def test_cannot_remove_last_shard(self):
+        with pytest.raises(ValueError):
+            ShardMap(["s0"]).without_shard("s0")
+
+    def test_maps_are_immutable_values(self):
+        smap = ShardMap(["s0", "s1"])
+        grown = smap.with_shard("s2")
+        assert len(smap) == 2 and len(grown) == 3
+        assert "s2" not in smap and "s2" in grown
+
+    def test_accepts_generators(self):
+        smap = ShardMap(f"s{i}" for i in range(3))
+        assert len(smap) == 3
+
+    def test_repr(self):
+        assert "s0" in repr(ShardMap(["s0"]))

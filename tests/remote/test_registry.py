@@ -30,6 +30,17 @@ class TestPublish:
         assert len(registry.get(published).entries) == 2
         assert len(registry) == 1
 
+    def test_republish_bumps_the_record_version(self, registry, populated,
+                                                published):
+        """Regression: republished records used to keep ``mtime=0.0``, so a
+        mirror diffing mtime snapshots never saw the update."""
+        before = registry._engine.mtime_snapshot()
+        assert before[published] > 0.0
+        populated.unlink("/fp/msg1.txt")
+        registry.publish("alice", populated, "/fp")
+        after = registry._engine.mtime_snapshot()
+        assert after[published] > before[published]
+
     def test_withdraw(self, registry, published):
         registry.withdraw(published)
         assert registry.get(published) is None

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cba.incremental import plan_reindex
 from repro.errors import QuerySyntaxError
 from repro.remote.rpc import RpcTransport
 from repro.remote.searchsvc import SimulatedSearchService
@@ -61,6 +62,53 @@ class TestCorpus:
     def test_title_of(self, svc):
         assert svc.title_of("d1") == "Overview"
         assert svc.title_of("d2") is None
+
+
+class TestVersioning:
+    def test_versions_are_monotonic_not_zero(self, svc):
+        """Regression: documents used to be stamped ``mtime=0.0``, making
+        every update invisible to mtime-snapshot staleness checks."""
+        snap = svc.mtime_snapshot()
+        assert sorted(snap.values()) == [1.0, 2.0, 3.0]
+
+    def test_update_bumps_the_version(self, svc):
+        before = svc.mtime_snapshot()
+        svc.add_document("d2", "now about gardening")
+        after = svc.mtime_snapshot()
+        assert after["d2"] > before["d2"]
+        assert after["d1"] == before["d1"]
+
+    def test_snapshot_diff_detects_the_update(self, svc):
+        before = svc.mtime_snapshot()
+        svc.add_document("d2", "now about gardening")
+        svc.add_document("d4", "a fourth paper")
+        svc.remove_document("d3")
+        plan = plan_reindex(before, svc.mtime_snapshot())
+        assert plan.added == ["d4"]
+        assert plan.removed == ["d3"]
+        assert plan.changed == ["d2"]
+
+
+class TestTitleContract:
+    def test_update_without_title_keeps_it(self, svc):
+        svc.add_document("d1", "revised overview text")
+        assert svc.title_of("d1") == "Overview"
+
+    def test_clear_title_flag_drops_it(self, svc):
+        svc.add_document("d1", "revised overview text", clear_title=True)
+        assert svc.title_of("d1") is None
+        hits = {h.doc: h.title for h in svc.search("revised")}
+        assert hits["d1"] == "d1"  # falls back to the document name
+
+    def test_clear_title_method(self, svc):
+        svc.clear_title("d1")
+        assert svc.title_of("d1") is None
+        svc.clear_title("d1")  # idempotent
+        svc.clear_title("ghost")  # unknown docs are a no-op
+
+    def test_title_with_clear_title_rejected(self, svc):
+        with pytest.raises(ValueError):
+            svc.add_document("d1", "text", title="X", clear_title=True)
 
 
 class TestTransportIntegration:

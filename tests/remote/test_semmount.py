@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import MountError, QueryLanguageMismatch
 from repro.remote.namespace import NameSpace, RemoteDoc
+from repro.remote.rpc import CircuitBreaker, RpcTransport
 from repro.remote.searchsvc import SimulatedSearchService
 
 
@@ -134,3 +135,60 @@ class TestRefinement:
         populated.ssync("/")
         populated.smkdir("/fp", "fingerprint")
         assert "reading-notes.txt" in populated.links("/fp")
+
+
+class TestHealth:
+    """``semmounts.health()`` reflects each back-end's breaker state."""
+
+    @pytest.fixture
+    def guarded(self, populated):
+        return SimulatedSearchService(
+            "guardlib",
+            documents={"fp-atlas": "an atlas of fingerprint patterns"},
+            transport=RpcTransport(
+                "guardlib", clock=populated.clock,
+                breaker=CircuitBreaker(failure_threshold=1, cooldown=30.0)))
+
+    def test_breakerless_backend_is_unmonitored(self, populated, library):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        assert populated.semmounts.health() == {"digilib": "unmonitored"}
+
+    def test_open_breaker_is_reported_and_flags_directories(
+            self, populated, library, guarded):
+        populated.mkdir("/lib")
+        populated.smount("/lib", library)
+        populated.smount("/lib", guarded)
+        populated.smkdir("/fp", "fingerprint")
+        assert populated.semmounts.health()["guardlib"] == "closed"
+        assert "fp-atlas" in populated.links("/fp")
+
+        guarded.transport.failure_rate = 1.0
+        populated.ssync("/")  # degrades, never raises
+        assert populated.semmounts.health() == {"digilib": "unmonitored",
+                                                "guardlib": "open"}
+        # last-known-good links are kept and flagged stale
+        assert "guardlib" in populated.stale_remote("/fp")
+        assert "fp-atlas" in populated.stale_links("/fp")
+        assert "fp-atlas" in populated.links("/fp")
+        # while open, further syncs are rejected locally (no backend calls)
+        calls = guarded.transport.calls
+        populated.ssync("/")
+        assert guarded.transport.calls == calls
+        assert populated.semmounts.health()["guardlib"] == "open"
+
+    def test_breaker_recovers_half_open_to_closed(self, populated, guarded):
+        populated.mkdir("/lib")
+        populated.smount("/lib", guarded)
+        populated.smkdir("/fp", "fingerprint")
+        guarded.transport.failure_rate = 1.0
+        populated.ssync("/")
+        assert populated.semmounts.health()["guardlib"] == "open"
+
+        guarded.transport.failure_rate = 0.0
+        populated.clock.advance(31.0)  # past the cool-down: half-open probe
+        populated.ssync("/")
+        assert populated.semmounts.health()["guardlib"] == "closed"
+        assert populated.stale_remote("/fp") == {}
+        assert populated.stale_links("/fp") == []
+        assert "fp-atlas" in populated.links("/fp")
