@@ -1,0 +1,121 @@
+"""The formal SearchBackend protocol — HAC's CBA seam, written down.
+
+The paper argues its content-based access API is general enough to host
+any search system (§2.2).  Until now that generality was informal: HAC
+talked to "anything shaped like a CBAEngine" and probed optional surface
+with ``hasattr``.  This module makes the contract explicit — a
+:class:`typing.Protocol` that the monolithic
+:class:`~repro.cba.engine.CBAEngine`, the
+:class:`~repro.cluster.ShardedSearchCluster`, and the
+:class:`~repro.remote.searchsvc.SimulatedSearchService` all satisfy — so
+``HacFileSystem`` and friends can type against one name and drop the
+ad-hoc sniffing.
+
+Two method families beyond the obvious maintenance/query core deserve a
+note:
+
+* **Doc-id reservation** (:meth:`SearchBackend.reserve_doc_id`).  Block
+  assignment is ``doc_id % num_blocks``, so query answers depend on the
+  ids documents received.  The batched maintenance pipeline reserves ids
+  at *enqueue* time and pins them at apply time, which is what keeps a
+  coalesced batch bit-identical to the eager sequence it replaced.
+
+* **Degradation surface** (:meth:`SearchBackend.shard_of`,
+  :meth:`SearchBackend.reset_missing_shards`, :meth:`SearchBackend.health`).
+  A monolithic engine has no shards, so its implementations are trivial
+  (``None`` / empty) — but having them lets the consistency cascade and
+  the shell run one unconditional code path against either back-end.
+"""
+
+from __future__ import annotations
+
+from typing import (Dict, Hashable, Iterable, List, Optional, Protocol, Set,
+                    Tuple, runtime_checkable)
+
+from repro.util.bitmap import Bitmap
+from repro.cba.incremental import ReindexPlan
+from repro.cba.queryast import Node
+
+
+@runtime_checkable
+class SearchBackend(Protocol):
+    """What HAC requires of a content-search back-end.
+
+    ``isinstance(obj, SearchBackend)`` checks method *presence* (a
+    :func:`typing.runtime_checkable` protocol cannot check signatures);
+    the equivalence property suites check behaviour.
+    """
+
+    # -- maintenance ---------------------------------------------------------
+
+    def index_document(self, key: Hashable, path: str, mtime: float,
+                       text: Optional[str] = None,
+                       doc_id: Optional[int] = None) -> int:
+        """Add a new document; *doc_id* pins a previously reserved id."""
+
+    def remove_document(self, key: Hashable) -> int:
+        """Withdraw a document; returns the freed doc id."""
+
+    def update_document(self, key: Hashable, path: str, mtime: float,
+                        text: Optional[str] = None) -> int:
+        """Re-tokenise a changed document in place (doc id preserved)."""
+
+    def rename_document(self, key: Hashable, new_path: str) -> None:
+        """Update the display path without re-tokenising."""
+
+    def reindex(self, current: Iterable[Tuple[Hashable, str, float]],
+                previous: Optional[Dict[Hashable, float]] = None
+                ) -> ReindexPlan:
+        """Bring the index in line with *current* ``(key, path, mtime)``."""
+
+    def reserve_doc_id(self) -> int:
+        """Claim the next doc id now, for a later pinned ``index_document``."""
+
+    # -- registry ------------------------------------------------------------
+
+    def doc_by_id(self, doc_id: int): ...
+
+    def doc_by_key(self, key: Hashable): ...
+
+    def doc_id_of(self, key: Hashable) -> Optional[int]: ...
+
+    def all_docs(self) -> Bitmap: ...
+
+    def mtime_snapshot(self) -> Dict[Hashable, float]: ...
+
+    def __contains__(self, key: Hashable) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    # -- queries -------------------------------------------------------------
+
+    def search(self, query: Node, scope: Optional[Bitmap] = None) -> Bitmap:
+        """Evaluate a content-only query over an optional scope bitmap."""
+
+    def search_blocks(self, query: Node, blocks: Bitmap,
+                      scope: Optional[Bitmap] = None) -> Bitmap:
+        """Verify a pre-planned query against externally nominated blocks."""
+
+    def estimate_docs(self, node: Node) -> int:
+        """Planner selectivity estimate for *node* (upper bound on hits)."""
+
+    def extract(self, key: Hashable, query: Node) -> List[str]:
+        """Match-carrying lines of one document (``sact``)."""
+
+    # -- degradation surface -------------------------------------------------
+
+    def shard_of(self, key: Hashable) -> Optional[str]:
+        """Owning shard id, or None on an unsharded back-end."""
+
+    def reset_missing_shards(self) -> Set[str]:
+        """Clear and return the shards missed since the last reset."""
+
+    def health(self) -> Dict[str, str]:
+        """Per-shard health (empty on an unsharded back-end)."""
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_obj(self): ...
+
+    @classmethod
+    def from_obj(cls, obj, loader, **kwargs) -> "SearchBackend": ...

@@ -149,12 +149,28 @@ class CBAEngine:
     # ------------------------------------------------------------------
 
     def _terms_of(self, text: str, path: str = "") -> Set[str]:
+        # tokenisation passes are the unit of maintenance work the batched
+        # scheduler saves; Ablation K asserts on this counter
+        self._stats.add("tokenisations")
         terms = index_terms(text, min_length=self.min_term_length,
                             stopwords=self.stopwords)
         if self.transducer is not None:
             terms |= {f"{field}:{value}"
                       for field, value in self.transducer(path, text)}
         return terms
+
+    def reserve_doc_id(self) -> int:
+        """Claim the next doc id without indexing anything yet.
+
+        The maintenance scheduler reserves ids at enqueue time so a
+        coalesced batch assigns the same ids — hence the same
+        ``doc_id % num_blocks`` block placement — the eager sequence
+        would have.  Reserved ids that go unused stay burned; ids are
+        never reused either way.
+        """
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        return doc_id
 
     def index_document(self, key: Hashable, path: str, mtime: float,
                        text: Optional[str] = None,
@@ -172,8 +188,7 @@ class CBAEngine:
         if text is None:
             text = self.loader(key)
         if doc_id is None:
-            doc_id = self._next_doc_id
-            self._next_doc_id += 1
+            doc_id = self.reserve_doc_id()
         else:
             if doc_id in self._docs:
                 raise ValueError(f"doc id already in use: {doc_id}")
@@ -547,6 +562,36 @@ class CBAEngine:
     def extract(self, key: Hashable, query: Node) -> List[str]:
         """Match-carrying lines of one document (HAC's ``sact``)."""
         return agrep.matching_lines(self.loader(key), query)
+
+    def estimate_docs(self, node: Node) -> int:
+        """Planner selectivity estimate (upper bound on hits)."""
+        return self.index.estimate_docs(node)
+
+    # ------------------------------------------------------------------
+    # degradation surface (SearchBackend protocol)
+    #
+    # A monolithic engine has no shards, so these are the trivial
+    # implementations: no owner, nothing ever missing, empty health.
+    # Having them lets the consistency cascade and the shell run one
+    # unconditional code path against either back-end.
+    # ------------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.index.num_blocks
+
+    @property
+    def missing_shards(self) -> Set[str]:
+        return set()
+
+    def shard_of(self, key: Hashable) -> None:
+        return None
+
+    def reset_missing_shards(self) -> Set[str]:
+        return set()
+
+    def health(self) -> Dict[str, str]:
+        return {}
 
     # ------------------------------------------------------------------
     # reporting

@@ -33,9 +33,10 @@ it:
   bitmap — the doc-id translation table degenerates to the identity, which
   is the point of global ids.
 
-Degradation is partial, never fatal: a shard whose transport fails (or
-whose breaker is open — :class:`~repro.errors.CircuitOpen` is a
-:class:`~repro.errors.RemoteUnavailable`) is skipped in both phases, its
+Degradation is partial, never fatal: a shard whose transport fails (with
+:class:`~repro.errors.ShardUnavailable`, or whose breaker is open —
+:class:`~repro.errors.CircuitOpen`; both are
+:class:`~repro.errors.BackendUnavailable`) is skipped in both phases, its
 id lands in :attr:`ShardedSearchCluster.missing_shards`, and the query
 returns exactly the union of the surviving shards' answers.  HAC reads and
 resets the flag around each semantic-directory re-evaluation and surfaces
@@ -47,7 +48,7 @@ from __future__ import annotations
 from typing import (Callable, Dict, Hashable, Iterable, List, NamedTuple,
                     Optional, Set, Tuple)
 
-from repro.errors import RemoteUnavailable
+from repro.errors import BackendUnavailable, ShardUnavailable
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import NULL_TRACER
 from repro.util.bitmap import Bitmap
@@ -202,7 +203,8 @@ class ShardedSearchCluster:
         transport = RpcTransport(name=f"shard.{shard_id}", clock=self.clock,
                                  latency=self.latency, seed=self.seed,
                                  counters=self.counters, retry=retry,
-                                 breaker=breaker, tracer=self._tracer)
+                                 breaker=breaker, tracer=self._tracer,
+                                 error_cls=ShardUnavailable)
         return SearchShard(shard_id, engine, transport)
 
     # ------------------------------------------------------------------
@@ -275,14 +277,32 @@ class ShardedSearchCluster:
     # current, so revival needs no resync — see repro.cluster.shard)
     # ------------------------------------------------------------------
 
+    def reserve_doc_id(self) -> int:
+        """Claim the next global doc id without indexing anything yet.
+
+        The maintenance scheduler reserves ids at enqueue time so a
+        coalesced batch assigns the same ids — hence the same
+        ``doc_id % num_blocks`` block placement — the eager sequence
+        would have.  Reserved ids that never get used stay burned;
+        ids are never reused either way.
+        """
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        return doc_id
+
     def index_document(self, key: Hashable, path: str, mtime: float,
-                       text: Optional[str] = None) -> int:
+                       text: Optional[str] = None,
+                       doc_id: Optional[int] = None) -> int:
         if key in self._by_key:
             raise ValueError(f"document already indexed: {key!r}")
         if text is None:
             text = self.loader(key)
-        doc_id = self._next_doc_id
-        self._next_doc_id += 1
+        if doc_id is None:
+            doc_id = self.reserve_doc_id()
+        elif doc_id in self._docs:
+            raise ValueError(f"doc id already in use: {doc_id}")
+        else:
+            self._next_doc_id = max(self._next_doc_id, doc_id + 1)
         owner = self.shardmap.owner(key)
         self.shards[owner].engine.index_document(key, path, mtime, text=text,
                                                  doc_id=doc_id)
@@ -408,7 +428,7 @@ class ShardedSearchCluster:
                 try:
                     with self._tracer.span("cluster.probe", shard=sid):
                         probe = shard.probe(wanted)
-                except RemoteUnavailable:
+                except BackendUnavailable:
                     missing.add(sid)
                     continue
                 reachable.append(sid)
@@ -443,7 +463,7 @@ class ShardedSearchCluster:
                 try:
                     with self._tracer.span("cluster.scatter", shard=sid):
                         hits = shard.search(query, blocks, shard_scope)
-                except RemoteUnavailable:
+                except BackendUnavailable:
                     missing.add(sid)
                     continue
                 result |= hits & shard_members
@@ -455,12 +475,47 @@ class ShardedSearchCluster:
                      shards=len(self.shards), missing=sorted(missing))
             return result
 
+    def search_blocks(self, query: Node, blocks: Bitmap,
+                      scope: Optional[Bitmap] = None) -> Bitmap:
+        """Phase 2 only: verify *query* against caller-nominated candidate
+        *blocks* (the :class:`~repro.cba.backend.SearchBackend` entry
+        point; :meth:`search` probes for its own candidates first).
+        Unreachable shards degrade to partial results, like any scatter."""
+        self._stats.add("block_searches")
+        if scope is not None and not scope:
+            return Bitmap()
+        with self._tracer.span("cluster.search_blocks") as span:
+            result = Bitmap()
+            missing: Set[str] = set()
+            for sid, shard in self.shards.items():
+                shard_members = self._members[sid]
+                shard_scope = None if scope is None else scope & shard_members
+                if shard_scope is not None and not shard_scope:
+                    continue
+                try:
+                    with self._tracer.span("cluster.scatter", shard=sid):
+                        hits = shard.search(query, blocks, shard_scope)
+                except BackendUnavailable:
+                    missing.add(sid)
+                    continue
+                result |= hits & shard_members
+            if missing:
+                self.missing_shards |= missing
+                self._stats.add("partial_results")
+            span.set(blocks=len(blocks), hits=len(result),
+                     missing=sorted(missing))
+            return result
+
     def reset_missing_shards(self) -> Set[str]:
         """Clear and return the accumulated degradation flag (callers
         bracket a unit of work — e.g. one semantic-dir re-evaluation —
         with reset-before / read-after)."""
         missing, self.missing_shards = self.missing_shards, set()
         return missing
+
+    def estimate_docs(self, node: Node) -> int:
+        """Planner selectivity over the summed per-shard statistics."""
+        return self.index.estimate_docs(node)
 
     def extract(self, key: Hashable, query: Node) -> List[str]:
         return agrep.matching_lines(self.loader(key), query)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
-from repro.errors import RemoteUnavailable
+from repro.errors import BackendUnavailable
 from repro.util import pathutil
 from repro.util.bitmap import Bitmap
 from repro.cba import evaluator
@@ -102,6 +102,10 @@ class ConsistencyManager:
         path = self.hacfs.dirmap.path_of(uid)
         if path is None:
             return False
+        # pre-query barrier: a semantic directory must never be evaluated
+        # over a torn batch, so any pending maintenance drains first (a
+        # no-op mid-drain — the scheduler's own cascade lands here)
+        self.hacfs.maintenance.barrier()
         self._stats.add("reevaluations")
         with self.hacfs.obs.trace.span("hac.reevaluate", uid=uid, path=path):
             return self._reevaluate_semantic(uid, state, path)
@@ -112,17 +116,17 @@ class ConsistencyManager:
         scope = self.hacfs.scopes.provided(parent_path)
 
         # 1. re-evaluate the query over the current scope.  A sharded
-        # engine accumulates the shards it could not reach during the
-        # evaluation, so bracket it: reset before, harvest after.
+        # back-end accumulates the shards it could not reach during the
+        # evaluation, so bracket it: reset before, harvest after (the
+        # SearchBackend protocol guarantees both ends exist; a monolith's
+        # missing set is simply always empty).
         engine = self.hacfs.engine
-        reset_missing = getattr(engine, "reset_missing_shards", None)
-        if reset_missing is not None:
-            reset_missing()
+        engine.reset_missing_shards()
         local_hits = evaluator.evaluate(
             state.query, engine,
             resolve_dirref=self._dirref_local, scope=scope.local)
         remote_hits = self._remote_matches(state, scope)
-        missing: Set[str] = set(getattr(engine, "missing_shards", ()) or ())
+        missing: Set[str] = set(engine.missing_shards)
 
         # 2. discard permanent and prohibited targets; the rest is transient
         permanent = set(state.links.permanent.values())
@@ -161,6 +165,10 @@ class ConsistencyManager:
                 del state.stale_shards[shard_id]
                 self._stats.add("shard_recoveries")
 
+        # write-ahead for the tree: journal this directory's record
+        # pre-image *before* materialisation mutates its entries, so a
+        # crash mid-materialisation still tells recovery to reconcile here
+        self.hacfs.journal.capture(f"semdir:{uid}")
         changed = self._apply_transient(path, state, new_targets)
         # the stored N/8-byte result: the directory's *current* local result
         # (transient plus permanent), i.e. the customised query result
@@ -248,10 +256,10 @@ class ConsistencyManager:
             return set()
         try:
             results = namespace.search(query_text)
-        except RemoteUnavailable:
+        except BackendUnavailable:
             # degrade gracefully: keep this back-end's previous links, and
             # flag them stale until the back-end answers again (breaker
-            # rejections land here too — CircuitOpen is a RemoteUnavailable)
+            # rejections land here too — CircuitOpen is a BackendUnavailable)
             self._stats.add("remote_failures")
             if ns_id not in state.stale_remote:
                 state.stale_remote[ns_id] = self.hacfs.clock.now

@@ -50,8 +50,18 @@ class ReindexScheduler:
     def _fire(self) -> None:
         self.sync("/")
 
-    def sync(self, path: str = "/") -> ReindexPlan:
-        """Reindex *path*'s subtree and settle all consistency there."""
+    def sync(self, path: str = "/",
+             asynchronous: bool = False) -> Optional[ReindexPlan]:
+        """Reindex *path*'s subtree and settle all consistency there.
+
+        With ``asynchronous=True`` the sync is queued behind the
+        maintenance scheduler's next batch drain and ``None`` is
+        returned (only the synchronous run lands in :attr:`history`);
+        in eager mode there is nothing to defer behind, so the sync
+        runs inline regardless.
+        """
+        if asynchronous and self.hacfs.maintenance.request_sync(path):
+            return None
         plan = self.hacfs.ssync(path)
         self.history.append((self.hacfs.clock.now, path, plan))
         return plan

@@ -55,6 +55,7 @@ from repro.core.datacon import ReindexScheduler
 from repro.core.depgraph import DependencyGraph
 from repro.core.journal import Journal
 from repro.core.links import Target
+from repro.core.scheduler import MaintenanceScheduler
 from repro.core.scope import ScopeResolver
 from repro.core.semdir import MetaStore
 from repro.core.watch import WatchManager
@@ -108,6 +109,9 @@ class HacFileSystem:
                                             path_of=self.dirmap.path_of)
         self.scopes = ScopeResolver(self)
         self.consistency = ConsistencyManager(self)
+        #: the write-side maintenance pipeline (eager by default; flip to
+        #: batched with ``maintenance.set_mode("batched")``)
+        self.maintenance = MaintenanceScheduler(self)
         self.scheduler = ReindexScheduler(self)
         self.watches = WatchManager(self)
         self.attrcache = AttributeCache(capacity=attr_cache_capacity,
@@ -488,8 +492,7 @@ class HacFileSystem:
                     key = (res.fs.fsid, res.node.ino)
                     live = self.path_for_target(Target.local(*key))
                     if live is not None and not self.watches.on_file_moved(key, live):
-                        if key in self.engine:
-                            self.engine.rename_document(key, live)
+                        self.maintenance.note_rename(key, live)
             origins.extend(self._chain_uids(new_parent))
             self.consistency.on_scope_changed(origins)
 
@@ -645,34 +648,75 @@ class HacFileSystem:
         _uid, state = self._state_of(path)
         return sorted(str(t) for t in state.links.prohibited)
 
-    def stale_remote(self, path: str) -> Dict[str, float]:
-        """Back-ends this directory is degrading for: namespace id → virtual
-        time since when its links are last-known-good rather than live."""
-        _uid, state = self._state_of(path)
-        return dict(state.stale_remote)
+    def health(self, path: Optional[str] = None) -> Dict[str, object]:
+        """One structured degradation report for the whole name space.
 
-    def stale_links(self, path: str) -> List[str]:
-        """Names of transient links whose back-end — a remote name space or
-        a local search-cluster shard — is currently unreachable (the links
-        still resolve — they are kept, just flagged stale)."""
-        _uid, state = self._state_of(path)
+        Consolidates what used to be three separate probes — per-directory
+        remote staleness, per-directory shard staleness, and the mount
+        table's back-end health — into a single shape::
+
+            {"backends":    {ns_id: breaker state},          # semantic mounts
+             "shards":      {shard_id: health},              # search back-end
+             "directories": {dir_path: {
+                 "stale_remote": {ns_id: since},
+                 "stale_shards": {shard_id: since},
+                 "stale_links":  [link names]}}}
+
+        Only degrading directories appear.  *path* restricts the
+        ``directories`` section to one directory (still listed only when
+        degrading).  The legacy accessors — :meth:`stale_remote`,
+        :meth:`stale_shards`, :meth:`stale_links` — are deprecated thin
+        aliases over this report.
+        """
+        self._hac.add("health")
+        directories: Dict[str, Dict[str, object]] = {}
+        if path is not None:
+            wanted = [self._uid_of_dir(path)]
+        else:
+            wanted = list(self.meta.uids())
+        for uid in wanted:
+            state = self.meta.get(uid)
+            if state is None or not (state.stale_remote or state.stale_shards):
+                continue
+            dir_path = self.dirmap.path_of(uid)
+            if dir_path is None:
+                continue
+            directories[dir_path] = {
+                "stale_remote": dict(state.stale_remote),
+                "stale_shards": dict(state.stale_shards),
+                "stale_links": self._stale_link_names(state),
+            }
+        return {"backends": self.semmounts.health(),
+                "shards": self.engine.health(),
+                "directories": directories}
+
+    def _stale_link_names(self, state) -> List[str]:
         stale_ns = set(state.stale_remote)
         out = [name for name, t in state.links.transient.items()
                if t.is_remote and t.realm in stale_ns]
         stale_shards = set(state.stale_shards)
         if stale_shards:
-            shard_of = getattr(self.engine, "shard_of", None)
-            if shard_of is not None:
-                out.extend(name for name, t in state.links.transient.items()
-                           if t.is_local and shard_of(t.key) in stale_shards)
+            out.extend(name for name, t in state.links.transient.items()
+                       if t.is_local
+                       and self.engine.shard_of(t.key) in stale_shards)
         return sorted(out)
 
+    # -- deprecated aliases over health() ------------------------------------
+
+    def stale_remote(self, path: str) -> Dict[str, float]:
+        """Deprecated: read ``health(path)["directories"]`` instead."""
+        entry = self.health(path)["directories"].get(self._canonical_dir(path))
+        return entry["stale_remote"] if entry else {}
+
+    def stale_links(self, path: str) -> List[str]:
+        """Deprecated: read ``health(path)["directories"]`` instead."""
+        entry = self.health(path)["directories"].get(self._canonical_dir(path))
+        return entry["stale_links"] if entry else []
+
     def stale_shards(self, path: str) -> Dict[str, float]:
-        """Search-cluster shards this directory is degrading for: shard id
-        → virtual time since its contributions are last-known-good rather
-        than live (mirrors :meth:`stale_remote` for the local engine)."""
-        _uid, state = self._state_of(path)
-        return dict(state.stale_shards)
+        """Deprecated: read ``health(path)["directories"]`` instead."""
+        entry = self.health(path)["directories"].get(self._canonical_dir(path))
+        return entry["stale_shards"] if entry else {}
 
     def classify(self, link_path: str) -> Optional[str]:
         """'permanent' | 'transient' | None for one directory entry."""
@@ -787,6 +831,9 @@ class HacFileSystem:
     def reindex(self, path: str = "/") -> ReindexPlan:
         """Reindex the files under *path* (crossing syntactic mounts)."""
         self._hac.add("reindex")
+        # drain pending maintenance first: the tree walk below must see the
+        # engine state those events (and their reserved doc ids) produce
+        self.maintenance.barrier()
         canon = self._canonical_dir(path)
         current: List[Tuple[Tuple[str, int], str, float]] = []
         for dirpath, _dirs, filenames in walk(self.fs, canon):
@@ -821,6 +868,7 @@ class HacFileSystem:
         """Reindex *path* and re-evaluate every dependent directory —
         the paper's ``ssync`` command plus the §2.4 settle-everything pass."""
         self._hac.add("ssync")
+        self.maintenance.barrier()
         canon = self._canonical_dir(path)
         with self._journaled("ssync", {"path": canon}):
             plan = self.reindex(path)
@@ -838,6 +886,7 @@ class HacFileSystem:
         from repro.core.fsck import hacfsck
 
         self._hac.add("fsck")
+        self.maintenance.barrier()
         return hacfsck(self, repair=repair)
 
     def watch(self, path: str) -> str:
@@ -859,6 +908,10 @@ class HacFileSystem:
         (re)indexed into it, and every semantic directory is re-evaluated.
         """
         self._hac.add("adopt_engine")
+        # drain into the *old* engine first: pending entries carry doc ids
+        # reserved against it, and the new engine re-derives everything
+        # from the tree during the ssync below anyway
+        self.maintenance.barrier()
         self.engine = engine
         self._wire_obs()
         self.ssync("/")
@@ -877,6 +930,7 @@ class HacFileSystem:
         self._hac.add("save_index")
         from repro.util import serialization
 
+        self.maintenance.barrier()
         record = serialization.dumps(self.engine.to_obj())
         with self._journaled("save_index", {}):
             self.fs.device.write_record("cbaindex", record)
@@ -957,6 +1011,7 @@ class HacFileSystem:
                                              path_of=hacfs.dirmap.path_of)
         hacfs.scopes = ScopeResolver(hacfs)
         hacfs.consistency = ConsistencyManager(hacfs)
+        hacfs.maintenance = MaintenanceScheduler(hacfs)
         hacfs.scheduler = ReindexScheduler(hacfs)
         hacfs.watches = WatchManager(hacfs)
         hacfs.attrcache = AttributeCache(counters=hacfs.counters)

@@ -28,6 +28,15 @@ The same rollback runs in-process when an operation fails softly (e.g. a
 transient ``ENOSPC`` mid-``smkdir``), which is what makes journaled
 operations atomic — fully applied or fully absent — rather than merely
 recoverable.
+
+**Group commit.**  An intent's cost is per *operation*, not per record
+write: one ``begin`` plus one pre-image per distinct key touched.  The
+maintenance pipeline (:mod:`repro.core.scheduler`) exploits this by
+applying a whole coalesced batch of index updates under a single
+``sched_batch`` intent — N documents, one ``begin``, shared pre-images —
+so batched maintenance writes a fraction of the journal records the same
+updates would cost as individual intents, while a crash mid-batch still
+rolls the *entire* batch back atomically.
 """
 
 from __future__ import annotations
@@ -130,6 +139,23 @@ class Journal:
         self.device.write_record(f"{WAL_PREFIX}{intent.seq}:u{index}", payload)
         self._stats.add("preimages")
         self._stats.add("wal_bytes", len(payload))
+
+    def capture(self, key: str) -> None:
+        """Journal *key*'s pre-image now, ahead of tree-side effects.
+
+        The hook only fires when a record is written, but some operations
+        mutate the (non-record-backed) VFS tree first — e.g. a re-evaluation
+        materialises a directory's symlinks before flushing its record.  A
+        crash in that window would leave tree debris with no journaled key
+        telling recovery which directory to reconcile.  Capturing the
+        pre-image first extends the write-ahead rule to the tree: a
+        directory's entries never change unless its record's old value is
+        already in the journal.  No-op outside an intent or on a key the
+        intent already captured.
+        """
+        if self._active is None or key in self._active.captured:
+            return
+        self._on_record_touch(key, self.device.read_record(key))
 
     # -- the intent lifecycle ----------------------------------------------------
 

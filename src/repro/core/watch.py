@@ -71,7 +71,13 @@ class WatchManager:
     # ------------------------------------------------------------------
 
     def on_content_changed(self, path: str) -> bool:
-        """A file under *path* was written or created; reindex it now."""
+        """A file under *path* was written or created; mark it dirty.
+
+        The maintenance scheduler owns the actual index work: in eager
+        mode (the default) the enqueue drains immediately — index update
+        plus cascade, the original watch semantics — while batched mode
+        coalesces it for the next drain.
+        """
         if not self.covers(path):
             return False
         try:
@@ -82,48 +88,30 @@ class WatchManager:
         if not isinstance(node, FileNode):
             return False
         key = (res.fs.fsid, node.ino)
-        if key in self.hacfs.engine:
-            self.hacfs.engine.update_document(key, path, node.attrs.mtime)
-        else:
-            self.hacfs.engine.index_document(key, path, node.attrs.mtime)
+        self.hacfs.maintenance.note_upsert(key, path, node.attrs.mtime)
         self._stats.add("reindexed")
-        self._cascade(path)
         return True
 
     def on_file_removed(self, key, parent_dir: str) -> bool:
-        """A file under a watched subtree was unlinked; withdraw it now."""
+        """A file under a watched subtree was unlinked; withdraw it."""
         if not self.covers(parent_dir):
             return False
-        if key in self.hacfs.engine:
-            self.hacfs.engine.remove_document(key)
+        if self.hacfs.maintenance.note_remove(key, parent_dir):
             self._stats.add("removed_docs")
-        self._cascade(parent_dir)
         return True
 
     def on_file_moved(self, key, new_path: str) -> bool:
         """A file moved; refresh its indexed path (and name-derived terms)."""
-        if not (self.covers(new_path) or key in self.hacfs.engine):
-            return False
         if not self.covers(new_path):
             return False
-        if key in self.hacfs.engine:
-            doc = self.hacfs.engine.doc_by_key(key)
-            self.hacfs.engine.update_document(key, new_path, doc.mtime)
-        else:
+        mtime = 0.0
+        if self.hacfs.engine.doc_by_key(key) is None \
+                and key not in self.hacfs.maintenance._pending:
             try:
                 res = self.hacfs.fs.resolve(new_path, follow=False)
-                self.hacfs.engine.index_document(
-                    key, new_path, res.node.attrs.mtime)
+                mtime = res.node.attrs.mtime
             except Exception:
                 return False
+        self.hacfs.maintenance.note_move(key, new_path, mtime)
         self._stats.add("moved_docs")
-        self._cascade(new_path)
         return True
-
-    def _cascade(self, path: str) -> None:
-        parent = pathutil.dirname(pathutil.normalize(path))
-        try:
-            origins = self.hacfs._chain_uids(parent)
-        except Exception:
-            origins = [0]
-        self.hacfs.consistency.on_scope_changed(origins, include_origins=True)

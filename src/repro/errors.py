@@ -205,25 +205,64 @@ class QueryLanguageMismatch(MountError):
         )
 
 
-class RemoteUnavailable(HacError):
-    """A simulated remote name space failed or timed out."""
+class BackendUnavailable(HacError):
+    """A search back-end could not be reached.
 
-    def __init__(self, namespace: str, message: str = ""):
-        self.namespace = namespace
-        detail = f"remote name space unavailable: {namespace}"
+    The root of the unified failure taxonomy: remote name spaces
+    (:class:`RemoteUnavailable`), search-cluster shards
+    (:class:`ShardUnavailable`), and breaker rejections
+    (:class:`CircuitOpen`) all subclass this, so every HAC degradation
+    path — the consistency cascade, the cluster's scatter-gather, RPC
+    retry loops — catches exactly one exception type.
+
+    :param backend: the name of the unreachable back-end (a namespace id,
+        a transport name, a shard id).
+    """
+
+    #: what kind of back-end failed, overridden by subclasses for display
+    kind = "back-end"
+
+    def __init__(self, backend: str, message: str = ""):
+        self.backend = backend
+        detail = f"{self.kind} unavailable: {backend}"
         if message:
             detail = f"{detail} ({message})"
         super().__init__(detail)
 
 
-class CircuitOpen(RemoteUnavailable):
-    """The per-backend circuit breaker is open: the call was rejected
-    locally without issuing an RPC.  Subclasses RemoteUnavailable so every
-    degradation path treats it as the back-end being down."""
+class RemoteUnavailable(BackendUnavailable):
+    """A simulated remote name space failed or timed out."""
 
-    def __init__(self, namespace: str, retry_at: float):
+    kind = "remote name space"
+
+    def __init__(self, namespace: str, message: str = ""):
+        super().__init__(namespace, message)
+        self.namespace = namespace
+
+
+class ShardUnavailable(BackendUnavailable):
+    """A local search-cluster shard failed or timed out."""
+
+    kind = "search shard"
+
+    def __init__(self, shard: str, message: str = ""):
+        super().__init__(shard, message)
+        self.shard = shard
+
+
+class CircuitOpen(BackendUnavailable):
+    """The per-backend circuit breaker is open: the call was rejected
+    locally without issuing an RPC.  Subclasses BackendUnavailable
+    directly — the breaker does not know (or care) whether it guards a
+    remote name space or a shard, only that the back-end is down."""
+
+    kind = "back-end"
+
+    def __init__(self, backend: str, retry_at: float):
         self.retry_at = retry_at
-        super().__init__(namespace, f"circuit open until t={retry_at:g}")
+        super().__init__(backend, f"circuit open until t={retry_at:g}")
+        # compatibility with the RemoteUnavailable attribute surface
+        self.namespace = backend
 
 
 class StaleHandle(HacError):

@@ -7,7 +7,8 @@ journal, dependency graph, CBA engine, Glimpse index, RPC transport — so a
 single switch turns the whole stack's instrumentation on or off:
 
 * :class:`~repro.obs.trace.TraceContext` — nested spans per operation
-  (syscall → re-evaluation → query plan → postings kernel / block scan →
+  (syscall → maintenance drain (``sched.drain``/``sched.apply``) →
+  re-evaluation → query plan → postings kernel / block scan →
   record I/O → journal intent/commit → RPC attempt), JSONL-exportable;
 * :class:`~repro.obs.metrics.MetricsRegistry` — the shared counter bag
   plus virtual-clock histograms.

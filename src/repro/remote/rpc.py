@@ -35,7 +35,7 @@ from __future__ import annotations
 import random
 from typing import Callable, FrozenSet, Iterable, Optional, TypeVar
 
-from repro.errors import CircuitOpen, RemoteUnavailable
+from repro.errors import BackendUnavailable, CircuitOpen, RemoteUnavailable
 from repro.obs.trace import NULL_TRACER, TraceContext
 from repro.util.clock import VirtualClock
 from repro.util.stats import Counters
@@ -165,7 +165,15 @@ class CircuitBreaker:
 
 
 class RpcTransport:
-    """Charges latency and failures onto calls to a remote back-end."""
+    """Charges latency and failures onto calls to a remote back-end.
+
+    :param error_cls: the :class:`~repro.errors.BackendUnavailable`
+        subclass injected failures raise — :class:`RemoteUnavailable` by
+        default; the search cluster passes
+        :class:`~repro.errors.ShardUnavailable` so callers can tell a
+        dead shard from a dead remote name space while still catching one
+        shared base type.
+    """
 
     def __init__(self, name: str,
                  clock: Optional[VirtualClock] = None,
@@ -176,7 +184,8 @@ class RpcTransport:
                  fail_on: Optional[Iterable[int]] = None,
                  retry: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
-                 tracer: Optional[TraceContext] = None):
+                 tracer: Optional[TraceContext] = None,
+                 error_cls: type = RemoteUnavailable):
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError("failure_rate must be within [0, 1]")
         self.name = name
@@ -193,6 +202,9 @@ class RpcTransport:
             frozenset(fail_on) if fail_on is not None else None
         self.retry = retry
         self.breaker = breaker
+        if not issubclass(error_cls, BackendUnavailable):
+            raise ValueError("error_cls must subclass BackendUnavailable")
+        self.error_cls = error_cls
         if breaker is not None and breaker.clock is None:
             breaker.clock = self.clock
         #: 0-based index of the next charged attempt on this transport
@@ -208,11 +220,11 @@ class RpcTransport:
         if self.fail_on is not None:
             if idx in self.fail_on:
                 self._stats.add("failures")
-                raise RemoteUnavailable(
+                raise self.error_cls(
                     self.name, f"{what} failed (scheduled at call {idx})")
         elif self.failure_rate and self._rng.random() < self.failure_rate:
             self._stats.add("failures")
-            raise RemoteUnavailable(self.name, f"{what} failed (injected)")
+            raise self.error_cls(self.name, f"{what} failed (injected)")
         return fn()
 
     def call(self, what: str, fn: Callable[[], T]) -> T:
@@ -228,7 +240,7 @@ class RpcTransport:
                 attempt += 1
                 try:
                     result = self._attempt(what, fn)
-                except RemoteUnavailable as exc:
+                except BackendUnavailable as exc:
                     if self.tracer.enabled:
                         self.tracer.event("rpc.attempt", backend=self.name,
                                           what=what, attempt=attempt,

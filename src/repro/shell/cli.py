@@ -36,12 +36,13 @@ commands:
   schquery PATH QUERY.. change a directory's query
   sls [PATH]            classified link listing
   sact LINK             show the matching lines behind a link
-  ssync [PATH]          reindex + re-evaluate dependents
+  ssync [--async] [PATH]  reindex + re-evaluate dependents (--async queues it)
+  sched [status|mode M|drain]  maintenance scheduler (modes: eager, batched)
   smount PATH demo      mount the demo digital library semantically
   smkcluster [K]        shard the content index across K engines (default 3)
   shards                per-shard doc counts, health, and RPC traffic
   glimpse QUERY...      ad-hoc search
-  swatch/sunwatch PATH  eager data consistency for a subtree
+  swatch/sunwatch PATH  automatic index maintenance for a subtree
   fsck [--repair]       audit HAC's internal structures
   hacstat [PREFIX]      counters, histograms, and span breakdown
   trace on|off|clear    toggle span capture
@@ -136,8 +137,15 @@ def _dispatch(shell: HacShell, cmd: str, args: List[str]) -> Optional[str]:
     if cmd == "sact":
         return "\n".join(shell.sact(args[0]))
     if cmd == "ssync":
-        plan = shell.ssync(args[0] if args else "/")
+        asynchronous = "--async" in args
+        paths = [a for a in args if a != "--async"]
+        plan = shell.ssync(paths[0] if paths else "/",
+                           asynchronous=asynchronous)
+        if plan is None:
+            return "sync queued behind the next drain"
         return repr(plan)
+    if cmd == "sched":
+        return _sched_command(shell, args)
     if cmd == "smount":
         path = args[0] if args and args[0] != "demo" else "/library"
         service = SimulatedSearchService("demolib", documents=_DEMO_LIBRARY_DOCS)
@@ -166,6 +174,21 @@ def _dispatch(shell: HacShell, cmd: str, args: List[str]) -> Optional[str]:
     if cmd == "trace":
         return _trace_command(shell, args)
     return f"unknown command: {cmd} (try help)"
+
+
+def _sched_command(shell: HacShell, args: List[str]) -> str:
+    sub = args[0] if args else "status"
+    if sub == "status":
+        status = shell.sched_status()
+        return "\n".join(f"{k}: {v:g}" if isinstance(v, float) else f"{k}: {v}"
+                         for k, v in status.items())
+    if sub == "mode":
+        if len(args) < 2:
+            return "usage: sched mode eager|batched"
+        return f"scheduler mode: {shell.sched_mode(args[1])}"
+    if sub == "drain":
+        return f"drained ({shell.sched_drain()} index ops)"
+    return f"unknown sched subcommand: {sub} (status|mode|drain)"
 
 
 def _trace_command(shell: HacShell, args: List[str]) -> str:

@@ -137,8 +137,18 @@ class HacShell:
     def sact(self, link_path: str) -> List[str]:
         return self.hacfs.sact(self.resolve_path(link_path))
 
-    def ssync(self, path: str = "/"):
-        return self.hacfs.ssync(self.resolve_path(path))
+    def ssync(self, path: str = "/", asynchronous: bool = False):
+        """Reindex + re-evaluate *path*'s subtree.
+
+        With ``asynchronous=True`` the sync is queued behind the
+        maintenance scheduler's next drain instead of running inline —
+        in batched mode it returns ``None`` immediately, in eager mode
+        (nothing to defer behind) it degrades to a synchronous sync.
+        """
+        target = self.resolve_path(path)
+        if asynchronous and self.hacfs.maintenance.request_sync(target):
+            return None
+        return self.hacfs.ssync(target)
 
     def smount(self, path: str, namespace: NameSpace) -> None:
         self.hacfs.smount(self.resolve_path(path), namespace)
@@ -179,8 +189,7 @@ class HacShell:
 
         hacfs = self.hacfs
         old = hacfs.engine
-        num_blocks = getattr(old, "num_blocks", None) \
-            or old.index.num_blocks
+        num_blocks = old.num_blocks
         factory = ClusterFactory(shards=shards)
         cluster = factory(hacfs._load_doc, counters=hacfs.counters,
                           clock=hacfs.clock, transducer=old.transducer,
@@ -192,13 +201,30 @@ class HacShell:
     def shards(self) -> List[Tuple[str, int, str, int]]:
         """Per-shard rows ``(shard id, docs, health, rpc calls)`` — empty
         when the engine is not a cluster."""
+        from repro.cluster import ShardedSearchCluster
+
         engine = self.hacfs.engine
-        if not hasattr(engine, "shards"):
+        if not isinstance(engine, ShardedSearchCluster):
             return []
         health = engine.health()
         return [(sid, len(shard.engine), health[sid],
                  int(shard.transport.calls))
                 for sid, shard in engine.shards.items()]
+
+    # -- maintenance scheduler ----------------------------------------------------
+
+    def sched_status(self) -> dict:
+        """Snapshot of the maintenance scheduler (mode, queue, counters)."""
+        return self.hacfs.maintenance.status()
+
+    def sched_mode(self, mode: str) -> str:
+        """Switch the scheduler between ``eager`` and ``batched``."""
+        self.hacfs.maintenance.set_mode(mode)
+        return self.hacfs.maintenance.mode
+
+    def sched_drain(self) -> int:
+        """Apply everything pending right now; returns ops applied."""
+        return self.hacfs.maintenance.drain(reason="explicit")
 
     # -- observability -----------------------------------------------------------
 
@@ -239,6 +265,9 @@ class HacShell:
         from repro.cba.queryparser import parse_query
         from repro.cba import evaluator
 
+        # ad-hoc searches honour the same pre-query barrier as semantic
+        # directories: never answer over a torn (undrained) batch
+        self.hacfs.maintenance.barrier()
         ast = parse_query(query, resolve_dir=self.hacfs.dirmap.uid_of)
         scope = self.hacfs.scopes.provided(self.resolve_path(scope_path))
         hits = evaluator.evaluate(

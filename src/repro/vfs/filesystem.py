@@ -117,8 +117,10 @@ class FileSystem:
         self._inodes: Dict[int, Inode] = {1: self.root}
         #: covered-directory ino → mounted file system
         self._mounts: Dict[int, "FileSystem"] = {}
-        #: optional hooks fired after mutating operations; the HAC layer and
-        #: tests subscribe.  Signature: callback(event: str, **details).
+        #: optional hooks fired after mutating operations; the HAC layer
+        #: subscribes to feed its watch/maintenance pipeline (dirty-set
+        #: tracking), tests subscribe for assertions.  Signature:
+        #: callback(event: str, **details).
         self.observers: List[Callable[..., None]] = []
         #: observability hook (wired by HacFileSystem); syscalls emit trace
         #: events through it when enabled — one attribute check when not

@@ -1,0 +1,99 @@
+"""The consolidated ``hac.health()`` degradation report and its aliases."""
+
+import pytest
+
+from repro.errors import FileNotFound
+from repro.remote.rpc import CircuitBreaker, RpcTransport
+from repro.remote.searchsvc import SimulatedSearchService
+
+
+@pytest.fixture
+def degraded_remote(populated):
+    """A mounted library whose transport is about to go dark."""
+    breaker = CircuitBreaker(failure_threshold=3, cooldown=500.0,
+                             clock=populated.clock,
+                             counters=populated.counters, name="digilib")
+    transport = RpcTransport("digilib", clock=populated.clock,
+                             counters=populated.counters, seed=5,
+                             breaker=breaker)
+    lib = SimulatedSearchService("digilib", documents={
+        "fp-survey": "fingerprint survey paper",
+    }, transport=transport)
+    populated.mkdir("/lib")
+    populated.smount("/lib", lib)
+    populated.smkdir("/fp", "fingerprint")      # healthy first sync
+    transport.failure_rate = 1.0
+    for _ in range(10):
+        populated.clock.tick()
+        populated.ssync("/")
+        if breaker.state == "open":
+            break
+    return populated
+
+
+def test_healthy_world_reports_no_degrading_directories(populated):
+    populated.smkdir("/fp", "fingerprint")
+    report = populated.health()
+    assert report["directories"] == {}
+    assert report["backends"] == {}
+    assert report["shards"] == {}     # monolithic engine: nothing sharded
+
+
+def test_degraded_remote_appears_in_one_report(degraded_remote):
+    report = degraded_remote.health()
+    assert report["backends"] == {"digilib": "open"}
+    entry = report["directories"]["/fp"]
+    assert "digilib" in entry["stale_remote"]
+    assert "fp-survey" in entry["stale_links"]
+    assert entry["stale_shards"] == {}
+    assert degraded_remote.counters.get("hac.health") >= 1
+
+
+def test_path_restricts_the_directories_section(degraded_remote):
+    report = degraded_remote.health("/fp")
+    assert set(report["directories"]) == {"/fp"}
+    # a healthy directory is absent even when asked for directly
+    assert degraded_remote.health("/notes")["directories"] == {}
+    # the global sections are unaffected by the restriction
+    assert report["backends"] == {"digilib": "open"}
+
+
+def test_aliases_equal_the_structured_report(degraded_remote):
+    hac = degraded_remote
+    entry = hac.health("/fp")["directories"]["/fp"]
+    assert hac.stale_remote("/fp") == entry["stale_remote"]
+    assert hac.stale_links("/fp") == entry["stale_links"]
+    assert hac.stale_shards("/fp") == entry["stale_shards"]
+    # healthy directory: the aliases return their empty shapes
+    assert hac.stale_remote("/notes") == {}
+    assert hac.stale_links("/notes") == []
+    assert hac.stale_shards("/notes") == {}
+
+
+def test_aliases_keep_raising_on_unknown_directories(populated):
+    with pytest.raises(FileNotFound):
+        populated.stale_remote("/no/such/dir")
+    with pytest.raises(FileNotFound):
+        populated.health("/no/such/dir")
+
+
+def test_dead_shard_surfaces_in_health(populated):
+    from repro.cluster import ClusterFactory
+
+    factory = ClusterFactory(shards=3, latency=0.0)
+    cluster = factory(populated._load_doc, counters=populated.counters,
+                      clock=populated.clock,
+                      transducer=populated.engine.transducer,
+                      num_blocks=populated.engine.num_blocks,
+                      fast_path=populated.engine.fast_path)
+    populated.adopt_engine(cluster)
+    populated.smkdir("/fp", "fingerprint")
+    victim = cluster.shard_of(next(iter(cluster.all_docs()), 0)) or "shard0"
+    cluster.kill_shard(victim)
+    populated.clock.tick()
+    populated.ssync("/")
+    report = populated.health()
+    assert report["shards"][victim] == "down"
+    stale = {sid for entry in report["directories"].values()
+             for sid in entry["stale_shards"]}
+    assert victim in stale

@@ -1,0 +1,215 @@
+"""Unit tests for the maintenance scheduler (the write-side pipeline)."""
+
+import pytest
+
+from repro.core.hacfs import HacFileSystem
+
+
+@pytest.fixture
+def watched(populated):
+    """The populated world with /mail watched (eager mode, the default)."""
+    populated.watch("/mail")
+    return populated
+
+
+def batched(hac: HacFileSystem) -> HacFileSystem:
+    hac.maintenance.set_mode("batched")
+    return hac
+
+
+def doc_key(hac, path):
+    res = hac.fs.resolve(path, follow=False)
+    return (res.fs.fsid, res.node.ino)
+
+
+class TestModes:
+    def test_default_is_eager_and_drains_per_event(self, watched):
+        watched.write_file("/mail/msg3.txt", b"fresh fingerprint lead\n")
+        assert watched.maintenance.pending == 0
+        assert doc_key(watched, "/mail/msg3.txt") in watched.engine
+
+    def test_batched_defers_until_drain(self, watched):
+        hac = batched(watched)
+        hac.write_file("/mail/msg3.txt", b"fresh fingerprint lead\n")
+        key = doc_key(hac, "/mail/msg3.txt")
+        assert hac.maintenance.pending == 1
+        assert key not in hac.engine
+        hac.maintenance.drain()
+        assert hac.maintenance.pending == 0
+        assert key in hac.engine
+
+    def test_unknown_mode_rejected(self, hacfs):
+        with pytest.raises(ValueError):
+            hacfs.maintenance.set_mode("lazy")
+
+    def test_leaving_batched_drains(self, watched):
+        hac = batched(watched)
+        hac.write_file("/mail/msg3.txt", b"stragglers forbidden\n")
+        hac.maintenance.set_mode("eager")
+        assert hac.maintenance.pending == 0
+        assert doc_key(hac, "/mail/msg3.txt") in hac.engine
+
+
+class TestCoalescing:
+    def test_rapid_rewrites_cost_one_tokenisation(self, watched):
+        hac = batched(watched)
+        before = hac.counters.get("engine.tokenisations")
+        for i in range(5):
+            hac.clock.tick()
+            hac.write_file("/mail/msg3.txt", b"draft %d fingerprint\n" % i)
+        assert hac.maintenance.pending == 1
+        assert hac.counters.get("engine.tokenisations") == before
+        hac.maintenance.drain()
+        assert hac.counters.get("engine.tokenisations") == before + 1
+        assert hac.counters.get("sched.coalesced") >= 4
+
+    def test_last_write_wins(self, watched):
+        hac = batched(watched)
+        hac.write_file("/mail/msg3.txt", b"first draft banana\n")
+        hac.clock.tick()
+        hac.write_file("/mail/msg3.txt", b"final draft fingerprint\n")
+        hac.maintenance.drain()
+        doc = hac.engine.doc_by_key(doc_key(hac, "/mail/msg3.txt"))
+        assert doc.mtime == hac.fs.resolve("/mail/msg3.txt").node.attrs.mtime
+
+    def test_write_then_remove_nets_out(self, watched):
+        hac = batched(watched)
+        hac.write_file("/mail/msg3.txt", b"ephemeral fingerprint\n")
+        key = doc_key(hac, "/mail/msg3.txt")
+        hac.unlink("/mail/msg3.txt")
+        hac.maintenance.drain()
+        assert key not in hac.engine
+
+    def test_remove_then_rewrite_burns_a_doc_id_like_eager(self, watched):
+        """An indexed doc removed and replaced gets a fresh id, exactly as
+        the eager remove-then-index sequence would assign."""
+        hac = batched(watched)
+        old_id = hac.engine.doc_id_of(doc_key(hac, "/mail/msg2.txt"))
+        hac.unlink("/mail/msg2.txt")
+        hac.write_file("/mail/msg2.txt", b"replacement lunch plan\n")
+        hac.maintenance.drain()
+        new_id = hac.engine.doc_id_of(doc_key(hac, "/mail/msg2.txt"))
+        assert new_id is not None and new_id != old_id
+
+
+class TestPolicyTriggers:
+    def test_max_pending_threshold_drains(self, watched):
+        hac = batched(watched)
+        hac.maintenance.max_pending = 3
+        for i in range(3):
+            hac.write_file(f"/mail/bulk{i}.txt", b"bulk mail %d\n" % i)
+        assert hac.maintenance.pending == 0
+        assert hac.counters.get("sched.drains") >= 1
+
+    def test_op_budget_threshold_drains(self, watched):
+        hac = batched(watched)
+        hac.maintenance.op_budget = 4
+        for i in range(4):
+            hac.clock.tick()
+            hac.write_file("/mail/hot.txt", b"revision %d\n" % i)
+        assert hac.maintenance.pending == 0
+
+    def test_backpressure_drains_inline_never_drops(self, watched):
+        hac = batched(watched)
+        hac.maintenance.max_pending = 10 ** 9
+        hac.maintenance.op_budget = 10 ** 9
+        hac.maintenance.capacity = 2
+        for i in range(5):
+            hac.write_file(f"/mail/flood{i}.txt", b"flood %d\n" % i)
+        assert hac.counters.get("sched.backpressure") >= 1
+        hac.maintenance.drain()
+        for i in range(5):
+            assert doc_key(hac, f"/mail/flood{i}.txt") in hac.engine
+
+    def test_barrier_is_noop_when_nothing_pending(self, watched):
+        before = watched.counters.get("sched.drains")
+        assert watched.maintenance.barrier() == 0
+        assert watched.counters.get("sched.drains") == before
+
+    def test_queries_drain_first(self, watched):
+        """The pre-query barrier: a semantic directory re-evaluation never
+        sees a torn batch."""
+        hac = batched(watched)
+        hac.smkdir("/lunchdir", "lunch")
+        hac.write_file("/mail/msg9.txt", b"second lunch invitation\n")
+        assert hac.maintenance.pending > 0
+        hac.clock.tick()
+        hac.ssync("/")
+        assert hac.maintenance.pending == 0
+        assert "msg9.txt" in hac.links("/lunchdir")
+
+
+class TestFailureAndRecovery:
+    def test_failed_drain_requeues_and_retry_converges(self, watched,
+                                                       monkeypatch):
+        hac = batched(watched)
+        hac.write_file("/mail/msg3.txt", b"transient trouble fingerprint\n")
+        key = doc_key(hac, "/mail/msg3.txt")
+
+        def boom(*args, **kwargs):
+            raise OSError("ENOSPC")
+
+        monkeypatch.setattr(hac.engine, "index_document", boom)
+        with pytest.raises(OSError):
+            hac.maintenance.drain()
+        assert hac.maintenance.pending == 1
+        assert hac.counters.get("sched.requeues") == 1
+        monkeypatch.undo()
+        hac.maintenance.drain()
+        assert key in hac.engine
+
+    def test_group_commit_is_one_journal_intent(self, watched):
+        hac = batched(watched)
+        begins = hac.counters.get("journal.begins")
+        for i in range(6):
+            hac.write_file(f"/mail/batch{i}.txt", b"grouped %d\n" % i)
+        hac.maintenance.drain()
+        assert hac.counters.get("journal.begins") == begins + 1
+
+
+class TestAsyncSync:
+    def test_request_sync_queues_in_batched_mode(self, watched):
+        hac = batched(watched)
+        assert hac.maintenance.request_sync("/") is True
+        assert hac.maintenance.status()["pending_syncs"] == 1
+        hac.maintenance.drain()
+        assert hac.maintenance.status()["pending_syncs"] == 0
+
+    def test_request_sync_declines_in_eager_mode(self, watched):
+        assert watched.maintenance.request_sync("/") is False
+
+    def test_queued_sync_settles_unwatched_changes(self, populated):
+        """An async sync queued behind a batch settles files *outside* any
+        watch when the drain runs."""
+        hac = batched(populated)
+        hac.clock.tick()
+        hac.write_file("/notes/late.txt", b"late fingerprint addendum\n")
+        hac.maintenance.request_sync("/")
+        assert doc_key(hac, "/notes/late.txt") not in hac.engine
+        hac.maintenance.drain()
+        assert doc_key(hac, "/notes/late.txt") in hac.engine
+
+
+class TestStatus:
+    def test_status_shape(self, watched):
+        hac = batched(watched)
+        hac.write_file("/mail/msg3.txt", b"status check\n")
+        status = hac.maintenance.status()
+        assert status["mode"] == "batched"
+        assert status["pending"] == 1
+        assert status["events"] >= 1
+        for field in ("pending_syncs", "max_pending", "op_budget",
+                      "capacity", "coalesced", "drains", "drained_docs",
+                      "backpressure"):
+            assert field in status
+
+    def test_drain_emits_spans_and_histograms(self, watched):
+        hac = batched(watched)
+        hac.obs.enable()
+        hac.write_file("/mail/msg3.txt", b"observable fingerprint\n")
+        hac.maintenance.drain()
+        drains = hac.obs.trace.spans(name="sched.drain")
+        applies = hac.obs.trace.spans(name="sched.apply")
+        assert drains and drains[-1].attrs["docs"] == 1
+        assert applies and applies[-1].attrs["shard"] == "local"
+        assert hac.obs.metrics.histogram("sched.batch_docs") is not None

@@ -238,6 +238,68 @@ def test_tear_sweep(op_name):
         assert state_of(restored) != "partial", (op_name, offset)
 
 
+def build_sched_world(trace: bool = False) -> HacFileSystem:
+    """The sweep world with /docs watched and the maintenance scheduler in
+    batched mode, so a drain group-commits several updates at once."""
+    hac = build_world(trace=trace)
+    hac.watch("/docs")
+    hac.maintenance.set_mode("batched")
+    return hac
+
+
+def _mutate_sched(hac):
+    # in batched mode nothing touches the device until the drain, so every
+    # crash offset lands inside the single sched_batch intent
+    hac.clock.tick()
+    hac.write_file("/docs/new1.txt", b"fresh fingerprint evidence\n")
+    hac.write_file("/docs/new2.txt", b"banana pancakes\n")
+    hac.write_file("/docs/new1.txt", b"rewritten fingerprint evidence\n")
+    hac.unlink("/docs/b.txt")
+    hac.maintenance.drain()
+
+
+def test_crash_sweep_sched_batch():
+    """The group-commit intent rolls the *whole* batch back atomically; a
+    reopen then brings the index current, so no update is ever lost."""
+    dry = build_sched_world()
+    start = dry.fs.device.record_write_index
+    _mutate_sched(dry)
+    n_writes = dry.fs.device.record_write_index - start
+    assert n_writes > 0, "the batch drain is not journaled"
+    rollbacks_seen = 0
+    for offset in range(n_writes):
+        hac = build_sched_world(trace=True)
+        dev = hac.fs.device
+        dev.set_fault_plan(
+            FaultPlan(crash_at=dev.record_write_index + offset))
+        with pytest.raises(DeviceCrashed):
+            _mutate_sched(hac)
+        recovery_obs = Observability(enabled=True)
+        restored = HacFileSystem.restore(hac.fs, obs=recovery_obs)
+        errors = [f for f in restored.fsck() if f.severity == "error"]
+        assert errors == [], (offset, [str(f) for f in errors])
+        # every rolled-back intent is a batch group commit, stamped onto
+        # the root span of whatever forced the drain: the explicit drain
+        # itself, or the cascade whose pre-query barrier drained early
+        # (the unlink's scope cascade does exactly that)
+        for seq, op in restored.last_recovery.rolled_back:
+            assert op == "sched_batch", (offset, op)
+            roots = [s for s in hac.obs.trace.spans(op_id=seq)
+                     if s.parent_id is None]
+            assert len(roots) == 1, (offset, seq)
+            assert roots[0].name in ("sched.drain", "hac.cascade"), \
+                (offset, roots[0].name)
+            assert len(recovery_obs.trace.spans(
+                name="journal.rollback", op_id=seq)) == 1, (offset, seq)
+        rollbacks_seen += len(restored.last_recovery.rolled_back)
+        # the reopen re-syncs: the batched writes land regardless of where
+        # the crash fell, and the withdrawn document stays gone
+        names = fp_link_names(restored)
+        assert "new1.txt" in names, offset
+        assert "b.txt" not in names, offset
+    assert rollbacks_seen > 0
+
+
 def test_crash_during_recovery_is_recoverable(populated):
     """A second crash while recovery itself is rolling back records must
     still be recoverable by the next restore().  (restore() clears fault

@@ -198,10 +198,21 @@ class TestCircuitBreaker:
         assert clock.now == now_before        # no latency charged
         assert counters.get("breaker.svc.rejections") == 1
 
-    def test_circuit_open_is_a_remote_unavailable(self):
+    def test_circuit_open_is_a_backend_unavailable(self):
+        from repro.errors import BackendUnavailable, CircuitOpen
+
+        # one except-clause covers transport failures and open breakers,
+        # for remote namespaces and search shards alike
+        assert issubclass(CircuitOpen, BackendUnavailable)
+        assert issubclass(RemoteUnavailable, BackendUnavailable)
+
+    def test_circuit_open_names_its_backend(self):
         from repro.errors import CircuitOpen
 
-        assert issubclass(CircuitOpen, RemoteUnavailable)
+        exc = CircuitOpen("svc", retry_at=12.5)
+        assert exc.retry_at == 12.5
+        assert exc.backend == "svc"
+        assert exc.namespace == "svc"   # compat alias for old handlers
 
     def test_half_open_probe_success_closes(self):
         rpc, breaker, clock = self._tripped(cooldown=100.0)

@@ -117,3 +117,42 @@ class TestObservabilityCommands:
         assert "try 'trace on'" in execute(shell, "trace")
         assert "unknown trace subcommand" in execute(shell, "trace bogus")
         assert "usage:" in execute(shell, "trace export")
+
+
+class TestSchedulerCommands:
+    @pytest.fixture()
+    def shell(self):
+        # fresh world per test: these commands mutate scheduler state
+        return build_demo_shell()
+
+    def test_status_renders_counters(self, shell):
+        out = execute(shell, "sched status")
+        assert "mode: eager" in out
+        assert "pending: 0" in out
+        # counters render as integers, not "0.0"
+        assert "events: 0" in out and "0.0" not in out
+
+    def test_mode_switch_and_drain(self, shell):
+        assert execute(shell, "sched mode batched") == \
+            "scheduler mode: batched"
+        execute(shell, "swatch /mail")
+        execute(shell, "write /mail/d.txt fingerprint draft one")
+        execute(shell, "write /mail/d.txt fingerprint draft two")
+        assert "pending: 1" in execute(shell, "sched status")
+        assert execute(shell, "sched drain") == "drained (1 index ops)"
+        assert "pending: 0" in execute(shell, "sched status")
+
+    def test_usage_errors(self, shell):
+        assert "usage: sched mode" in execute(shell, "sched mode")
+        assert "unknown sched subcommand" in execute(shell, "sched bogus")
+
+    def test_ssync_async_queues_behind_the_drain(self, shell):
+        execute(shell, "sched mode batched")
+        assert execute(shell, "ssync --async") == \
+            "sync queued behind the next drain"
+        assert "pending_syncs: 1" in execute(shell, "sched status")
+        assert "index ops" in execute(shell, "sched drain")
+        assert "pending_syncs: 0" in execute(shell, "sched status")
+
+    def test_ssync_async_in_eager_mode_runs_synchronously(self, shell):
+        assert "ReindexPlan" in execute(shell, "ssync --async /")

@@ -71,3 +71,47 @@ class TestHacErrors:
             assert issubclass(cls, errors.HacError)
             assert issubclass(cls, errors.ReproError)
             assert not issubclass(cls, errors.VfsError)
+
+
+class TestBackendUnavailable:
+    """The unified failure taxonomy: every transport/RPC/breaker failure
+    is a ``BackendUnavailable``, so degradation handlers need exactly one
+    except clause regardless of which back-end went dark."""
+
+    def test_hierarchy(self):
+        for cls in (errors.RemoteUnavailable, errors.ShardUnavailable,
+                    errors.CircuitOpen):
+            assert issubclass(cls, errors.BackendUnavailable)
+            assert issubclass(cls, errors.HacError)
+
+    def test_base_message_names_the_backend(self):
+        err = errors.BackendUnavailable("svc", "timed out")
+        assert err.backend == "svc"
+        assert "back-end unavailable: svc" in str(err)
+        assert "timed out" in str(err)
+
+    def test_remote_keeps_its_namespace_field(self):
+        err = errors.RemoteUnavailable("digilib", "timeout")
+        assert err.backend == "digilib"
+        assert err.namespace == "digilib"
+        assert "remote name space unavailable: digilib" in str(err)
+
+    def test_shard_unavailable_names_the_shard(self):
+        err = errors.ShardUnavailable("shard2", "partitioned")
+        assert err.backend == "shard2"
+        assert err.shard == "shard2"
+        assert "search shard unavailable: shard2" in str(err)
+
+    def test_circuit_open_carries_retry_time(self):
+        err = errors.CircuitOpen("digilib", retry_at=42.0)
+        assert err.backend == "digilib"
+        assert err.namespace == "digilib"   # compat for old handlers
+        assert err.retry_at == 42.0
+        assert "circuit open until t=42" in str(err)
+
+    def test_one_except_clause_catches_them_all(self):
+        for exc in (errors.RemoteUnavailable("a"),
+                    errors.ShardUnavailable("b"),
+                    errors.CircuitOpen("c", retry_at=1.0)):
+            with pytest.raises(errors.BackendUnavailable):
+                raise exc
