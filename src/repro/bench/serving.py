@@ -1,0 +1,190 @@
+"""Open-loop serving-latency harness: Poisson arrivals over virtual costs.
+
+The serving ablation (``benchmarks/bench_serving.py``) asks a scheduling
+question — *how long does a query wait when reads and writes contend for
+one serving core?* — and wall-clock timing of a pure-Python simulator
+cannot answer it deterministically.  So the harness separates the two
+ingredients the question actually has:
+
+* **Service time** is *virtual*: a :class:`CostMeter` converts the
+  deterministic work counters each operation moves (device ops,
+  tokenisation passes, docs scanned) into milliseconds with fixed
+  weights.  Two runs of the same seed produce bit-identical service
+  times, so every asserted ratio is pinned to counters, never to the
+  host's clock — the deflake convention every bench in this repo follows
+  (wall times are still *reported*, just never asserted).
+
+* **Waiting time** comes from an open-loop single-server queue: arrivals
+  are scheduled by a Poisson process per session (merged across
+  sessions), and — unlike a closed loop, where a slow server politely
+  slows the clients — late completions do not push arrivals back.  That
+  is exactly the regime where a barrier hurts: a read arriving behind a
+  drained batch queues for the whole batch's service time, and the p99
+  collapses under write load.
+
+The split also makes the harness trivially unit-testable: feed it a fake
+``execute`` and fixed costs, and the queueing arithmetic is exact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence
+
+from repro.util.stats import Counters
+
+#: virtual milliseconds per unit of deterministic work — chosen so the
+#: typical query costs ~1ms and a tokenisation-heavy drain costs tens
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "blockdev.read_ops": 0.05,
+    "blockdev.write_ops": 0.12,
+    "blockdev.meta_read_ops": 0.02,
+    "blockdev.meta_write_ops": 0.08,
+    "engine.tokenisations": 0.6,
+    "engine.docs_scanned": 0.25,
+    "engine.searches": 0.05,
+}
+
+#: fixed per-operation overhead (dispatch, parsing) in virtual ms
+DEFAULT_FLOOR_MS = 0.05
+
+
+class ServingConfig(NamedTuple):
+    """One open-loop experiment: who arrives, how often, for how long."""
+
+    rate_per_s: float = 200.0       # total arrival rate across all sessions
+    duration_s: float = 10.0        # virtual experiment length
+    read_fraction: float = 0.8      # P(an arrival is a query)
+    sessions: int = 4               # concurrent open-loop sessions
+    seed: int = 0
+
+
+class Arrival(NamedTuple):
+    """One scheduled operation."""
+
+    at_ms: float
+    session: int
+    kind: str                       # 'read' | 'write'
+
+
+class Sample(NamedTuple):
+    """One completed operation, as measured by the queue simulation."""
+
+    kind: str
+    arrival_ms: float
+    start_ms: float
+    cost_ms: float                  # service time (virtual, deterministic)
+    latency_ms: float               # completion - arrival (queueing + service)
+
+
+def poisson_schedule(config: ServingConfig) -> List[Arrival]:
+    """Merged per-session Poisson arrival schedule, time-ordered.
+
+    Each session draws independent exponential gaps at its share of the
+    total rate, so the merged stream is Poisson at ``rate_per_s`` and the
+    schedule is a pure function of the config (seeded rng).
+    """
+    out: List[Arrival] = []
+    session_rate = config.rate_per_s / max(1, config.sessions)
+    horizon_ms = config.duration_s * 1000.0
+    for session in range(config.sessions):
+        rng = random.Random(config.seed * 1_000_003 + session)
+        t = 0.0
+        while True:
+            t += rng.expovariate(session_rate) * 1000.0
+            if t >= horizon_ms:
+                break
+            kind = "read" if rng.random() < config.read_fraction else "write"
+            out.append(Arrival(t, session, kind))
+    out.sort(key=lambda a: (a.at_ms, a.session))
+    return out
+
+
+class CostMeter:
+    """Deterministic virtual service time from work-counter deltas.
+
+    :param sources: zero-arg callable returning the live list of
+        :class:`Counters` to sum over — a *callable* because replica
+        counters attach lazily, on the first snapshot read.
+    """
+
+    def __init__(self, sources: Callable[[], Iterable[Counters]],
+                 weights: Optional[Dict[str, float]] = None,
+                 floor_ms: float = DEFAULT_FLOOR_MS):
+        self._sources = sources
+        self.weights = dict(DEFAULT_WEIGHTS if weights is None else weights)
+        self.floor_ms = floor_ms
+
+    def _weighted_total(self) -> float:
+        total = 0.0
+        for counters in self._sources():
+            for name, weight in self.weights.items():
+                total += counters.get(name) * weight
+        return total
+
+    def measure(self, fn: Callable[[], object]) -> "tuple[object, float]":
+        """Run *fn*; returns ``(result, virtual cost in ms)``."""
+        before = self._weighted_total()
+        result = fn()
+        return result, (self._weighted_total() - before) + self.floor_ms
+
+
+def simulate(schedule: Sequence[Arrival],
+             execute: Callable[[str], object],
+             meter: CostMeter) -> List[Sample]:
+    """Run *schedule* through a single-server open-loop queue.
+
+    Operations execute in arrival order against one server: an arrival
+    begins service at ``max(arrival, server free)``, and its latency is
+    queueing delay plus its own deterministic service time.  The loop is
+    open — arrivals never wait for earlier completions to be *issued* —
+    which is what lets a barrier-induced convoy show up as p99 collapse
+    rather than as a quietly stretched experiment.
+    """
+    samples: List[Sample] = []
+    t_free = 0.0
+    for arrival in schedule:
+        _result, cost_ms = meter.measure(lambda: execute(arrival.kind))
+        start = max(arrival.at_ms, t_free)
+        t_free = start + cost_ms
+        samples.append(Sample(arrival.kind, arrival.at_ms, start, cost_ms,
+                              t_free - arrival.at_ms))
+    return samples
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(pct / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+def summarize(samples: Sequence[Sample]) -> Dict[str, Dict[str, float]]:
+    """Per-kind latency distribution plus saturation throughput.
+
+    Saturation throughput is the rate one server sustains at 100%%
+    utilisation — operations divided by total *service* time (queueing
+    excluded, since waiting consumes no server capacity).
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for kind in sorted({s.kind for s in samples}):
+        latencies = [s.latency_ms for s in samples if s.kind == kind]
+        costs = [s.cost_ms for s in samples if s.kind == kind]
+        out[kind] = {
+            "count": float(len(latencies)),
+            "p50_ms": percentile(latencies, 50.0),
+            "p99_ms": percentile(latencies, 99.0),
+            "p999_ms": percentile(latencies, 99.9),
+            "mean_cost_ms": sum(costs) / len(costs),
+            "max_ms": max(latencies),
+        }
+    total_cost = sum(s.cost_ms for s in samples)
+    if total_cost > 0:
+        out["all"] = {
+            "count": float(len(samples)),
+            "saturation_ops_per_s": 1000.0 * len(samples) / total_cost,
+        }
+    return out

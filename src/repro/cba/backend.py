@@ -102,6 +102,17 @@ class SearchBackend(Protocol):
     def extract(self, key: Hashable, query: Node) -> List[str]:
         """Match-carrying lines of one document (``sact``)."""
 
+    # -- serving tier --------------------------------------------------------
+
+    def publish(self) -> int:
+        """Publish current state as the next snapshot version; returns it."""
+
+    def snapshot_view(self):
+        """The freshest published read view (zero-barrier query surface)."""
+
+    def snapshot_info(self) -> Dict[str, object]:
+        """Published version, pending op count, and per-replica state."""
+
     # -- degradation surface -------------------------------------------------
 
     def shard_of(self, key: Hashable) -> Optional[str]:

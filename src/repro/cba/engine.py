@@ -61,6 +61,26 @@ class Document(NamedTuple):
     size: int
 
 
+class IndexOp(NamedTuple):
+    """One primary-engine mutation, as shipped to read replicas.
+
+    Ops carry the *term set the primary computed* and the *text it
+    indexed*, so replica catch-up never re-tokenises and never re-reads
+    the live tree — replay is pure index manipulation against frozen
+    inputs.  Emitted only while at least one replica is attached (the op
+    buffer stays empty otherwise, keeping ``publish`` free for eager
+    mode's per-write drains).
+    """
+
+    kind: str                       # 'index' | 'update' | 'remove' | 'rename'
+    doc_id: int
+    key: Hashable
+    path: str
+    mtime: float
+    terms: Optional[Set[str]] = None
+    text: Optional[str] = None
+
+
 class CBAEngine:
     """Glimpse-style content-based access over externally stored documents.
 
@@ -116,6 +136,13 @@ class CBAEngine:
         #: functions of (text, pairs), so they survive until the doc mutates
         self._verify_memo: Dict[int, Dict[Node, Tuple[float, bool]]] = {}
         self._memo_entries = 0
+        # serving tier: the published snapshot version, attached read
+        # replicas, and the op log replicas replay at publish time (empty
+        # while no replica is attached — see IndexOp)
+        self._published_version = 0
+        self._replicas: List = []
+        self._pending_ops: List[IndexOp] = []
+        self._route_rr = 0
 
     # ------------------------------------------------------------------
     # registry
@@ -193,10 +220,12 @@ class CBAEngine:
             if doc_id in self._docs:
                 raise ValueError(f"doc id already in use: {doc_id}")
             self._next_doc_id = max(self._next_doc_id, doc_id + 1)
-        grew = self.index.add(doc_id, self._terms_of(text, path))
+        terms = self._terms_of(text, path)
+        grew = self.index.add(doc_id, terms)
         self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
         self._by_key[key] = doc_id
         self._note_mutation(doc_id, grew)
+        self._emit("index", doc_id, key, path, mtime, terms, text)
         self._stats.add("indexed")
         self._stats.add("indexed_bytes", len(text))
         return doc_id
@@ -206,9 +235,10 @@ class CBAEngine:
         doc_id = self._by_key.pop(key, None)
         if doc_id is None:
             raise KeyError(f"document not indexed: {key!r}")
-        del self._docs[doc_id]
+        doc = self._docs.pop(doc_id)
         self.index.remove(doc_id)
         self._note_mutation(doc_id, grew=False)
+        self._emit("remove", doc_id, key, doc.path, doc.mtime)
         self._stats.add("removed")
         return doc_id
 
@@ -220,9 +250,11 @@ class CBAEngine:
             raise KeyError(f"document not indexed: {key!r}")
         if text is None:
             text = self.loader(key)
-        grew = self.index.update(doc_id, self._terms_of(text, path))
+        terms = self._terms_of(text, path)
+        grew = self.index.update(doc_id, terms)
         self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
         self._note_mutation(doc_id, grew)
+        self._emit("update", doc_id, key, path, mtime, terms, text)
         self._stats.add("updated")
         return doc_id
 
@@ -235,6 +267,8 @@ class CBAEngine:
         # transduced pairs can depend on the path, so memoised verdicts for
         # this doc may no longer hold even though its mtime is unchanged
         self._purge_memo(doc_id)
+        self._emit("rename", doc_id, key, new_path,
+                   self._docs[doc_id].mtime)
 
     def reindex(self, current: Iterable[Tuple[Hashable, str, float]],
                 previous: Optional[Dict[Hashable, float]] = None) -> ReindexPlan:
@@ -566,6 +600,105 @@ class CBAEngine:
     def estimate_docs(self, node: Node) -> int:
         """Planner selectivity estimate (upper bound on hits)."""
         return self.index.estimate_docs(node)
+
+    # ------------------------------------------------------------------
+    # serving tier: published snapshots and read replicas
+    #
+    # Queries that can tolerate as-of-last-publish answers read from an
+    # attached ReadReplica instead of the live engine, so they never
+    # trigger (or wait on) a maintenance drain.  The scheduler publishes
+    # once per drained batch; ``publish`` with no replicas attached is a
+    # bare version bump, so eager mode pays nothing for the machinery.
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, doc_id: int, key: Hashable, path: str,
+              mtime: float, terms: Optional[Set[str]] = None,
+              text: Optional[str] = None) -> None:
+        if self._replicas:
+            self._pending_ops.append(
+                IndexOp(kind, doc_id, key, path, mtime, terms, text))
+
+    def publish(self) -> int:
+        """Publish the current index state as the next snapshot version.
+
+        Replicas that are not deliberately lagged replay the buffered op
+        log and stamp the new version; the fully-applied prefix of the
+        buffer is then truncated (lagged replicas pin their suffix).
+        Returns the new version.
+        """
+        self._published_version += 1
+        version = self._published_version
+        if self._replicas:
+            upto = len(self._pending_ops)
+            for replica in self._replicas:
+                if replica.lag > 0:
+                    replica.lag -= 1
+                    continue
+                replica.apply(self._pending_ops, upto, version)
+            low = min(r.cursor for r in self._replicas)
+            if low:
+                del self._pending_ops[:low]
+                for replica in self._replicas:
+                    replica.cursor -= low
+        self._stats.add("publishes")
+        return version
+
+    def attach_replica(self, replica_id: Optional[str] = None, lag: int = 0):
+        """Attach (and hydrate) a new read replica.
+
+        Hydration copies the engine's current state — between drains the
+        engine is at rest at the last published version, so the replica
+        starts consistent with it; its op-log cursor starts at the
+        buffer's tail so the next publish replays only what it missed.
+        """
+        from repro.cba.snapshot import ReadReplica
+
+        if replica_id is None:
+            replica_id = f"r{len(self._replicas)}"
+        replica = ReadReplica(replica_id, self)
+        replica.hydrate(self, self._published_version)
+        replica.cursor = len(self._pending_ops)
+        replica.lag = lag
+        self._replicas.append(replica)
+        self._stats.add("replicas_attached")
+        return replica
+
+    @property
+    def replicas(self) -> List:
+        return list(self._replicas)
+
+    def snapshot_view(self):
+        """The freshest attached replica — the zero-barrier read path.
+
+        Attaches a first replica lazily, so callers opt into snapshot
+        serving simply by asking.  Ties between equally fresh replicas
+        rotate round-robin (the freshness-aware routing half of the
+        serving tier: a lagged replica is never chosen over a fresh one).
+        """
+        if not self._replicas:
+            self.attach_replica()
+        freshest = max(r.version for r in self._replicas)
+        candidates = [r for r in self._replicas if r.version == freshest]
+        self._route_rr += 1
+        self._stats.add("snapshot_reads")
+        return candidates[self._route_rr % len(candidates)]
+
+    def snapshot_info(self) -> Dict[str, object]:
+        """Published version, buffered op count, and per-replica state."""
+        return {
+            "version": self._published_version,
+            "pending_ops": len(self._pending_ops),
+            "replicas": [{"id": r.replica_id, "version": r.version,
+                          "lag": r.lag} for r in self._replicas],
+        }
+
+    def set_replica_lag(self, replica_id: str, publishes: int) -> None:
+        """Make one replica skip the next *publishes* publishes."""
+        for replica in self._replicas:
+            if replica.replica_id == replica_id:
+                replica.lag = publishes
+                return
+        raise KeyError(f"no such replica: {replica_id!r}")
 
     # ------------------------------------------------------------------
     # degradation surface (SearchBackend protocol)

@@ -17,12 +17,14 @@ consistency cascade, and ``ssync`` run unchanged against shards.
 from typing import Callable, Iterable, Optional
 
 from repro.cba.glimpse import DEFAULT_NUM_BLOCKS
-from repro.cluster.coordinator import RebalancePlan, ShardedSearchCluster
+from repro.cluster.coordinator import (ClusterSnapshotView, RebalancePlan,
+                                       ShardedSearchCluster)
 from repro.cluster.shard import SearchShard, ShardProbe
 from repro.cluster.shardmap import Move, ShardMap
 
 __all__ = [
     "ClusterFactory",
+    "ClusterSnapshotView",
     "Move",
     "RebalancePlan",
     "SearchShard",
@@ -47,7 +49,8 @@ class ClusterFactory:
                  latency: float = 0.05,
                  seed: int = 0,
                  retry_factory: Optional[Callable] = None,
-                 breaker_factory: Optional[Callable] = None):
+                 breaker_factory: Optional[Callable] = None,
+                 replicas_per_shard: int = 1):
         if shard_ids is None:
             shard_ids = [f"shard{i}" for i in range(shards)]
         self.shard_ids = list(shard_ids)
@@ -55,6 +58,7 @@ class ClusterFactory:
         self.seed = seed
         self.retry_factory = retry_factory
         self.breaker_factory = breaker_factory
+        self.replicas_per_shard = replicas_per_shard
 
     def __call__(self, loader, *, counters=None, clock=None, transducer=None,
                  num_blocks: int = DEFAULT_NUM_BLOCKS,
@@ -64,7 +68,8 @@ class ClusterFactory:
             transducer=transducer, counters=counters, fast_path=fast_path,
             clock=clock, latency=self.latency, seed=self.seed,
             retry_factory=self.retry_factory,
-            breaker_factory=self.breaker_factory)
+            breaker_factory=self.breaker_factory,
+            replicas_per_shard=self.replicas_per_shard)
 
     def from_obj(self, obj, *, loader, counters=None, clock=None,
                  transducer=None, fast_path: bool = True

@@ -117,6 +117,129 @@ class _ClusterSelectivity:
         return estimate_docs(node, self._df, len(self._cluster))
 
 
+class _ViewSelectivity:
+    """Planner statistics over a snapshot view's chosen replicas.
+
+    Same additive-df argument as :class:`_ClusterSelectivity`, read from
+    the replica indexes instead of the live shard engines, so planning on
+    the snapshot path orders conjunctions exactly as the live path would
+    have *at the publish point*.
+    """
+
+    def __init__(self, view: "ClusterSnapshotView"):
+        self._view = view
+
+    def _df(self, term: str) -> int:
+        return sum(replica.index.lexicon.df(term)
+                   for replica in self._view.replicas.values())
+
+    def estimate_docs(self, node: Node) -> int:
+        return estimate_docs(node, self._df, len(self._view))
+
+
+class ClusterSnapshotView:
+    """A consistent cut across per-shard read replicas.
+
+    Construction is the routing step: for every shard the freshest
+    attached replica is chosen (the shard engine's own freshness-aware
+    rotation), and the cut's ``version`` is the *minimum* replica version
+    — with lockstep publishes and no injected lag every replica agrees,
+    and ``skew`` is 0.  Queries then re-run the coordinator's two-phase
+    algebra entirely in-process over the chosen replicas: per-term block
+    postings unioned across replicas, one global ``eval_blocks``, then
+    per-replica block verification merged by masked union.  Same
+    invariants (global ids, plan-once, union-per-term), same bits — as of
+    the cut — with no RPC, no drain, and no shared engine state touched.
+    """
+
+    def __init__(self, cluster: "ShardedSearchCluster"):
+        self._cluster = cluster
+        self.replicas = {sid: shard.engine.snapshot_view()
+                         for sid, shard in cluster.shards.items()}
+        versions = [r.version for r in self.replicas.values()]
+        self.version = min(versions) if versions else 0
+        self.skew = (max(versions) - self.version) if versions else 0
+        self.fast_path = cluster.fast_path
+        self.counters = cluster.counters
+        self.index = _ViewSelectivity(self)
+
+    def all_docs(self) -> Bitmap:
+        out = Bitmap()
+        for replica in self.replicas.values():
+            out |= replica.all_docs()
+        return out
+
+    def doc_by_id(self, doc_id: int) -> Optional[Document]:
+        for replica in self.replicas.values():
+            doc = replica.doc_by_id(doc_id)
+            if doc is not None:
+                return doc
+        return None
+
+    def doc_by_key(self, key: Hashable) -> Optional[Document]:
+        for replica in self.replicas.values():
+            doc = replica.doc_by_key(key)
+            if doc is not None:
+                return doc
+        return None
+
+    def estimate_docs(self, node: Node) -> int:
+        return self.index.estimate_docs(node)
+
+    def __len__(self) -> int:
+        return sum(len(replica) for replica in self.replicas.values())
+
+    def search(self, query: Node, scope: Optional[Bitmap] = None) -> Bitmap:
+        """The zero-barrier scatter-gather, replayed over the cut."""
+        cluster = self._cluster
+        cluster._stats.add("snapshot_searches")
+        if scope is not None and not scope:
+            return Bitmap()
+        with cluster._tracer.span("cluster.snapshot_search",
+                                  version=self.version,
+                                  skew=self.skew) as span:
+            universe = self.all_docs() if scope is None else scope
+            if self.fast_path:
+                query = planner.plan(query, self.index, cluster._stats)
+            if isinstance(query, MatchAll):
+                span.set(mode="matchall", hits=len(universe))
+                return universe.copy()
+
+            terms: Set[str] = set()
+            _probe_terms(query, terms)
+            term_blocks: Dict[str, Bitmap] = {}
+            occupied = Bitmap()
+            for replica in self.replicas.values():
+                occupied |= replica.index.occupied_blocks()
+                for term in terms:
+                    blocks = replica.index.blocks_with_term(term)
+                    seen = term_blocks.get(term)
+                    if seen is None:
+                        term_blocks[term] = blocks
+                    else:
+                        seen |= blocks
+
+            def lookup(term: str) -> Bitmap:
+                found = term_blocks.get(term)
+                return found.copy() if found is not None else Bitmap()
+
+            blocks = eval_blocks(query, lookup, occupied)
+            result = Bitmap()
+            for replica in self.replicas.values():
+                members = replica.all_docs()
+                replica_scope = members if scope is None else scope & members
+                if not replica_scope:
+                    continue
+                hits = replica.search_blocks(query, blocks, replica_scope)
+                result |= hits & members
+            span.set(blocks=len(blocks), hits=len(result))
+            return result
+
+    def __repr__(self) -> str:
+        return (f"ClusterSnapshotView(version={self.version}, "
+                f"skew={self.skew}, docs={len(self)})")
+
+
 class RebalancePlan(NamedTuple):
     """The deterministic work a shard-set change implies."""
 
@@ -151,7 +274,8 @@ class ShardedSearchCluster:
                  seed: int = 0,
                  retry_factory: Optional[Callable[[str], RetryPolicy]] = None,
                  breaker_factory: Optional[
-                     Callable[[str], CircuitBreaker]] = None):
+                     Callable[[str], CircuitBreaker]] = None,
+                 replicas_per_shard: int = 1):
         self.loader = loader
         self.counters = counters if counters is not None else Counters()
         self._stats = self.counters.scoped("cluster")
@@ -167,6 +291,11 @@ class ShardedSearchCluster:
         self._breaker_factory = breaker_factory
         self._tracer = NULL_TRACER
         self._metrics = NULL_METRICS
+        #: serving tier: cluster-wide published version (shard engines are
+        #: published in lockstep, seeded at build so versions agree) and
+        #: how many read replicas each shard attaches on first snapshot use
+        self._published_version = 0
+        self.replicas_per_shard = replicas_per_shard
         self.shardmap = ShardMap(shard_ids)
         self.shards: Dict[str, SearchShard] = {
             sid: self._build_shard(sid) for sid in self.shardmap.shard_ids}
@@ -194,6 +323,9 @@ class ShardedSearchCluster:
                            counters=self.counters, fast_path=self.fast_path)
         engine.tracer = self._tracer
         engine.metrics = self._metrics
+        # a shard added mid-life starts at the cluster's published version,
+        # so lockstep publishes keep every shard's version equal
+        engine._published_version = self._published_version
         breaker = (self._breaker_factory(shard_id) if self._breaker_factory
                    else CircuitBreaker(failure_threshold=BREAKER_THRESHOLD,
                                        cooldown=BREAKER_COOLDOWN,
@@ -521,6 +653,70 @@ class ShardedSearchCluster:
         return agrep.matching_lines(self.loader(key), query)
 
     # ------------------------------------------------------------------
+    # serving tier: lockstep shard publishes and the consistent-cut view
+    # ------------------------------------------------------------------
+
+    def publish(self) -> int:
+        """Publish every shard engine in lockstep; returns the new
+        cluster-wide version.
+
+        Maintenance is coordinator-side and synchronous, so at publish
+        time every shard engine is at rest at the same logical point —
+        one version bump per shard yields per-shard versions that always
+        agree with the cluster's (replica versions can trail only through
+        deliberate lag injection).
+        """
+        with self._tracer.span("cluster.publish") as span:
+            self._published_version += 1
+            for shard in self.shards.values():
+                shard.engine.publish()
+            span.set(version=self._published_version,
+                     shards=len(self.shards))
+        self._stats.add("publishes")
+        return self._published_version
+
+    def _ensure_replicas(self) -> None:
+        for sid, shard in self.shards.items():
+            engine = shard.engine
+            while len(engine.replicas) < self.replicas_per_shard:
+                engine.attach_replica(f"{sid}:r{len(engine.replicas)}")
+
+    def snapshot_view(self) -> ClusterSnapshotView:
+        """A consistent cut over the freshest replica of every shard."""
+        self._ensure_replicas()
+        self._stats.add("snapshot_reads")
+        return ClusterSnapshotView(self)
+
+    def snapshot_info(self) -> Dict[str, object]:
+        """Cluster version, buffered op counts, and the flat replica list
+        (replica ids are ``<shard>:<replica>``)."""
+        replicas: List[Dict[str, object]] = []
+        shard_versions: Dict[str, int] = {}
+        pending = 0
+        for sid, shard in self.shards.items():
+            info = shard.engine.snapshot_info()
+            shard_versions[sid] = info["version"]
+            pending += info["pending_ops"]
+            replicas.extend(info["replicas"])
+        return {
+            "version": self._published_version,
+            "pending_ops": pending,
+            "replicas": replicas,
+            "shards": shard_versions,
+        }
+
+    def set_replica_lag(self, shard_id: str, publishes: int,
+                        replica_id: Optional[str] = None) -> None:
+        """Lag one shard's replicas (or one specific replica) by
+        *publishes* publishes — the staleness-injection control."""
+        engine = self.shards[shard_id].engine
+        if replica_id is not None:
+            engine.set_replica_lag(replica_id, publishes)
+            return
+        for replica in engine.replicas:
+            replica.lag = publishes
+
+    # ------------------------------------------------------------------
     # fault controls and health (tests, shell, benchmarks)
     # ------------------------------------------------------------------
 
@@ -608,7 +804,11 @@ class ShardedSearchCluster:
             self._stats.add("rebalances")
             self._stats.add("docs_moved", len(moves))
             span.set(moves=len(moves), shards=len(new_map))
-            return RebalancePlan(moves=moves, shard_plans=shard_plans)
+            plan = RebalancePlan(moves=moves, shard_plans=shard_plans)
+        # topology changes republish so attached replicas pick up the
+        # cross-shard moves as one atomic version step
+        self.publish()
+        return plan
 
     # ------------------------------------------------------------------
     # reporting and persistence

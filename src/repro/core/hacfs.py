@@ -688,6 +688,7 @@ class HacFileSystem:
             }
         return {"backends": self.semmounts.health(),
                 "shards": self.engine.health(),
+                "snapshots": self.engine.snapshot_info(),
                 "directories": directories}
 
     def _stale_link_names(self, state) -> List[str]:
@@ -828,6 +829,17 @@ class HacFileSystem:
     # data consistency
     # ==================================================================
 
+    def _publish_engine(self) -> None:
+        """Publish a snapshot after an engine-mutating operation — but
+        never while an intent is still open: a publish inside an intent
+        could ship ops to replicas that an in-process rollback then cannot
+        take back.  When this runs nested (``ssync`` → ``reindex``), the
+        inner call is a no-op and the outer one publishes at commit."""
+        if self.journal.active is not None:
+            return
+        version = self.engine.publish()
+        self.journal.note_publish(version)
+
     def reindex(self, path: str = "/") -> ReindexPlan:
         """Reindex the files under *path* (crossing syntactic mounts)."""
         self._hac.add("reindex")
@@ -862,6 +874,7 @@ class HacFileSystem:
                             for d in self.engine.all_docs())
                 if doc is not None
             })
+        self._publish_engine()
         return plan
 
     def ssync(self, path: str = "/") -> ReindexPlan:
@@ -877,6 +890,7 @@ class HacFileSystem:
             else:
                 self.consistency.on_scope_changed(self._chain_uids(canon),
                                                   include_origins=True)
+        self._publish_engine()
         return plan
 
     def fsck(self, repair: bool = False):

@@ -192,6 +192,21 @@ class Journal:
         self._trace.event("journal.commit", op_id=intent.seq, op=intent.op,
                           preimages=len(intent.capture_order))
 
+    def note_publish(self, version: int, seq: Optional[int] = None) -> None:
+        """Record a snapshot publish against the intent that produced it.
+
+        Publishes happen strictly *after* the producing intent commits
+        (publishing mid-intent could leave replicas ahead of a rolled-back
+        primary), so the event cannot ride the intent itself; instead the
+        caller passes the committed intent's *seq* and the event carries it
+        as its op id — the same correlation key ``journal.begin`` stamped
+        on the operation's root span.  *seq* is ``None`` for publishes no
+        intent produced (a forced ``sched publish``, an empty drain).
+        """
+        self._stats.add("publishes")
+        self._trace.event("journal.sched_publish", op_id=seq,
+                          version=version)
+
     def abandon(self, intent: Intent) -> None:
         """Deactivate without committing — the wal records stay for recovery
         (used when a device crash propagates out of the operation)."""

@@ -109,6 +109,9 @@ class MaintenanceScheduler:
         self._sync_roots: List[str] = []
         self._ops_absorbed = 0
         self._draining = False
+        #: journal seq of the last drained batch's intent, carried onto
+        #: the publish event that follows the commit
+        self._last_intent_seq: Optional[int] = None
         self._stats = hacfs.counters.scoped("sched")
 
     # ------------------------------------------------------------------
@@ -130,6 +133,7 @@ class MaintenanceScheduler:
 
     def status(self) -> Dict[str, object]:
         """Structured snapshot for the shell's ``sched`` command."""
+        info = self.hacfs.engine.snapshot_info()
         return {
             "mode": self.mode,
             "pending": len(self._pending),
@@ -142,6 +146,10 @@ class MaintenanceScheduler:
             "drains": self._stats.get("drains"),
             "drained_docs": self._stats.get("drained_docs"),
             "backpressure": self._stats.get("backpressure"),
+            "snapshot_version": info["version"],
+            "publishes": self._stats.get("publishes"),
+            "replica_lag": {str(r["id"]): info["version"] - r["version"]
+                            for r in info["replicas"]},
         }
 
     # ------------------------------------------------------------------
@@ -283,6 +291,7 @@ class MaintenanceScheduler:
             self._origins = set()
             sync_roots, self._sync_roots = self._sync_roots, []
             self._ops_absorbed = 0
+            self._last_intent_seq = None
             ops = 0
             with self.hacfs.obs.trace.span("sched.drain", reason=reason,
                                            docs=len(entries)) as span:
@@ -300,7 +309,8 @@ class MaintenanceScheduler:
                     raise
                 for root in sync_roots:
                     self.hacfs.ssync(root)
-                span.set(ops=ops, syncs=len(sync_roots))
+                version = self._publish(self._last_intent_seq)
+                span.set(ops=ops, syncs=len(sync_roots), version=version)
             self._stats.add("drains")
             self._stats.add("drained_docs", len(entries))
             self.hacfs.obs.metrics.observe("sched.batch_docs", len(entries))
@@ -308,6 +318,23 @@ class MaintenanceScheduler:
             return ops
         finally:
             self._draining = False
+
+    def publish(self) -> int:
+        """Force a snapshot publish of the engine's *current* state — no
+        drain, no barrier (the shell's ``sched publish``).  Pending batched
+        work stays pending; what the engine has already applied becomes
+        visible to snapshot readers immediately."""
+        self._stats.add("forced_publishes")
+        return self._publish(None)
+
+    def _publish(self, seq: Optional[int]) -> int:
+        """Publish and journal the ``sched_publish`` event under *seq* —
+        the committed batch intent that produced this version (None when
+        no intent did: forced publishes, empty drains)."""
+        version = self.hacfs.engine.publish()
+        self._stats.add("publishes")
+        self.hacfs.journal.note_publish(version, seq)
+        return version
 
     def _apply_batch(self, entries: List[PendingDoc],
                      origins: List[int]) -> int:
@@ -317,7 +344,8 @@ class MaintenanceScheduler:
             groups.setdefault(engine.shard_of(entry.key), []).append(entry)
         ops = 0
         payload = {"docs": len(entries), "origins": len(origins)}
-        with self.hacfs._journaled("sched_batch", payload):
+        with self.hacfs._journaled("sched_batch", payload) as intent:
+            self._last_intent_seq = intent.seq if intent is not None else None
             for sid, group in groups.items():
                 with self.hacfs.obs.trace.span("sched.apply",
                                                shard=sid or "local",

@@ -181,6 +181,15 @@ class SimulatedSearchService(NameSpace):
     def extract(self, key: str, query) -> List[str]:
         return self._engine.extract(key, query)
 
+    def publish(self) -> int:
+        return self._engine.publish()
+
+    def snapshot_view(self):
+        return self._engine.snapshot_view()
+
+    def snapshot_info(self) -> Dict[str, object]:
+        return self._engine.snapshot_info()
+
     def shard_of(self, key: str) -> None:
         return None
 

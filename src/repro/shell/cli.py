@@ -37,7 +37,8 @@ commands:
   sls [PATH]            classified link listing
   sact LINK             show the matching lines behind a link
   ssync [--async] [PATH]  reindex + re-evaluate dependents (--async queues it)
-  sched [status|mode M|drain]  maintenance scheduler (modes: eager, batched)
+  sched [status|mode M|drain|publish]  maintenance scheduler (modes: eager,
+                        batched; publish forces a snapshot publish, no drain)
   smount PATH demo      mount the demo digital library semantically
   smkcluster [K]        shard the content index across K engines (default 3)
   shards                per-shard doc counts, health, and RPC traffic
@@ -188,7 +189,9 @@ def _sched_command(shell: HacShell, args: List[str]) -> str:
         return f"scheduler mode: {shell.sched_mode(args[1])}"
     if sub == "drain":
         return f"drained ({shell.sched_drain()} index ops)"
-    return f"unknown sched subcommand: {sub} (status|mode|drain)"
+    if sub == "publish":
+        return f"published snapshot version {shell.sched_publish()}"
+    return f"unknown sched subcommand: {sub} (status|mode|drain|publish)"
 
 
 def _trace_command(shell: HacShell, args: List[str]) -> str:

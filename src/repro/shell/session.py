@@ -226,6 +226,11 @@ class HacShell:
         """Apply everything pending right now; returns ops applied."""
         return self.hacfs.maintenance.drain(reason="explicit")
 
+    def sched_publish(self) -> int:
+        """Force a snapshot publish of the engine's current state without
+        draining the pending batch; returns the new version."""
+        return self.hacfs.maintenance.publish()
+
     # -- observability -----------------------------------------------------------
 
     def hacstat(self, prefix: str = "") -> dict:
@@ -259,12 +264,25 @@ class HacShell:
         self.hacfs.write_file(self.resolve_path(path), text.encode("utf-8"))
         return count
 
-    def glimpse(self, query: str, scope_path: str = "/") -> List[str]:
+    def glimpse(self, query: str, scope_path: str = "/",
+                consistency: str = "strong") -> List[str]:
         """Ad-hoc search without creating a semantic directory — the
-        'regular glimpse' usage the Table 4 bench compares against."""
+        'regular glimpse' usage the Table 4 bench compares against.
+
+        ``consistency='strong'`` (the default) keeps the read-your-writes
+        barrier semantics: drain pending maintenance, then answer from the
+        live engine.  ``consistency='snapshot'`` answers from the last
+        *published* index version with no barrier at all — the query never
+        waits on (or triggers) write-side work, at the cost of not seeing
+        batched updates newer than the last publish.
+        """
         from repro.cba.queryparser import parse_query
         from repro.cba import evaluator
 
+        if consistency not in ("strong", "snapshot"):
+            raise ValueError(f"unknown consistency level: {consistency!r}")
+        if consistency == "snapshot":
+            return self._glimpse_snapshot(query, scope_path)
         # ad-hoc searches honour the same pre-query barrier as semantic
         # directories: never answer over a torn (undrained) batch
         self.hacfs.maintenance.barrier()
@@ -279,4 +297,44 @@ class HacShell:
             doc = self.hacfs.engine.doc_by_id(doc_id)
             if doc is not None:
                 out.append(doc.path)
+        return sorted(out)
+
+    def _glimpse_snapshot(self, query: str, scope_path: str) -> List[str]:
+        """The zero-barrier read path: evaluate against the engine's
+        published snapshot view.
+
+        The content half of the query sees exactly the last published
+        index version.  Directory scopes (the *scope_path* restriction and
+        any ``DirRef`` operand) still resolve through the live directory
+        state — they are set lookups, not index reads — so a query scoped
+        to a semantic directory can mix a fresher membership with
+        as-of-publish content; the property suite therefore fuzzes the
+        content path, and callers needing scope-exact answers use
+        ``consistency='strong'``.
+        """
+        from repro.cba.queryparser import parse_query
+        from repro.cba import evaluator
+
+        hacfs = self.hacfs
+        view = hacfs.engine.snapshot_view()
+        with hacfs.obs.trace.span("hac.glimpse_snapshot",
+                                  version=view.version,
+                                  skew=getattr(view, "skew", 0)) as span:
+            ast = parse_query(query, resolve_dir=hacfs.dirmap.uid_of)
+            target = self.resolve_path(scope_path)
+            if hacfs._canonical_dir(target) == "/":
+                scope = view.all_docs()
+            else:
+                scope = hacfs.scopes.provided(target).local & view.all_docs()
+            hits = evaluator.evaluate(
+                ast, view,
+                resolve_dirref=lambda uid:
+                    hacfs.scopes.provided_by_uid(uid).local,
+                scope=scope)
+            out = []
+            for doc_id in hits:
+                doc = view.doc_by_id(doc_id)
+                if doc is not None:
+                    out.append(doc.path)
+            span.set(hits=len(hits))
         return sorted(out)

@@ -1,0 +1,115 @@
+"""Unit tests for the open-loop serving harness (pure queueing math)."""
+
+import pytest
+
+from repro.bench.serving import (Arrival, CostMeter, ServingConfig,
+                                 percentile, poisson_schedule, simulate,
+                                 summarize)
+from repro.util.stats import Counters
+
+
+class TestPoissonSchedule:
+    def test_deterministic_for_a_seed(self):
+        config = ServingConfig(rate_per_s=100.0, duration_s=2.0, seed=42)
+        assert poisson_schedule(config) == poisson_schedule(config)
+        shifted = config._replace(seed=43)
+        assert poisson_schedule(shifted) != poisson_schedule(config)
+
+    def test_time_ordered_within_horizon(self):
+        schedule = poisson_schedule(ServingConfig(duration_s=1.0, seed=1))
+        assert schedule == sorted(schedule, key=lambda a: (a.at_ms, a.session))
+        assert all(0 < a.at_ms < 1000.0 for a in schedule)
+
+    def test_rate_and_mix_are_roughly_honoured(self):
+        config = ServingConfig(rate_per_s=500.0, duration_s=4.0,
+                               read_fraction=0.8, sessions=4, seed=0)
+        schedule = poisson_schedule(config)
+        assert len(schedule) == pytest.approx(2000, rel=0.15)
+        reads = sum(1 for a in schedule if a.kind == "read")
+        assert reads / len(schedule) == pytest.approx(0.8, abs=0.05)
+        assert {a.session for a in schedule} == {0, 1, 2, 3}
+
+
+class TestCostMeter:
+    def test_weighted_delta_plus_floor(self):
+        counters = Counters()
+        meter = CostMeter(lambda: [counters],
+                          weights={"engine.tokenisations": 0.5},
+                          floor_ms=0.1)
+        _result, cost = meter.measure(
+            lambda: counters.add("engine.tokenisations", 4))
+        assert cost == pytest.approx(0.5 * 4 + 0.1)
+        _result, idle = meter.measure(lambda: None)
+        assert idle == pytest.approx(0.1)
+
+    def test_sources_reread_each_measurement(self):
+        """Lazily attached counter sources (replicas) must be picked up."""
+        pool = [Counters()]
+        meter = CostMeter(lambda: list(pool), weights={"x": 1.0},
+                          floor_ms=0.0)
+
+        def op():
+            late = Counters()
+            late.add("x", 3)
+            pool.append(late)
+
+        _result, cost = meter.measure(op)
+        assert cost == pytest.approx(3.0)
+
+    def test_unweighted_counters_are_free(self):
+        counters = Counters()
+        meter = CostMeter(lambda: [counters], weights={"x": 1.0},
+                          floor_ms=0.0)
+        _result, cost = meter.measure(lambda: counters.add("y", 100))
+        assert cost == 0.0
+
+
+class TestSimulate:
+    def test_open_loop_queueing_arithmetic(self):
+        schedule = [Arrival(0.0, 0, "read"), Arrival(1.0, 0, "read"),
+                    Arrival(50.0, 0, "write")]
+        counters = Counters()
+        meter = CostMeter(lambda: [counters], weights={"x": 1.0},
+                          floor_ms=0.0)
+        samples = simulate(schedule, lambda kind: counters.add("x", 10),
+                           meter)
+        # first op: no wait; second queues behind it; third finds it idle
+        assert [s.latency_ms for s in samples] == \
+            pytest.approx([10.0, 19.0, 10.0])
+        assert [s.start_ms for s in samples] == \
+            pytest.approx([0.0, 10.0, 50.0])
+        assert all(s.cost_ms == pytest.approx(10.0) for s in samples)
+
+    def test_kinds_are_passed_through(self):
+        schedule = [Arrival(0.0, 0, "write"), Arrival(1.0, 0, "read")]
+        seen = []
+        meter = CostMeter(lambda: [], floor_ms=1.0)
+        simulate(schedule, seen.append, meter)
+        assert seen == ["write", "read"]
+
+
+class TestSummaries:
+    def test_percentile_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50.0) == 50
+        assert percentile(values, 99.0) == 99
+        assert percentile(values, 99.9) == 100
+        assert percentile([7.0], 99.0) == 7.0
+        assert percentile([], 50.0) == 0.0
+
+    def test_summarize_shapes_and_saturation(self):
+        schedule = [Arrival(float(i), 0, "read" if i % 2 else "write")
+                    for i in range(10)]
+        counters = Counters()
+        meter = CostMeter(lambda: [counters], weights={"x": 1.0},
+                          floor_ms=0.0)
+        samples = simulate(schedule, lambda kind: counters.add("x", 2),
+                           meter)
+        summary = summarize(samples)
+        assert set(summary) == {"read", "write", "all"}
+        assert summary["read"]["count"] == 5.0
+        for field in ("p50_ms", "p99_ms", "p999_ms", "mean_cost_ms",
+                      "max_ms"):
+            assert field in summary["read"]
+        # 10 ops at 2ms of service each = 500 ops/s at saturation
+        assert summary["all"]["saturation_ops_per_s"] == pytest.approx(500.0)

@@ -90,6 +90,30 @@ def test_cluster_search_blocks_matches_monolith():
         mono.search_blocks(query, blocks).to_bytes()
 
 
+def test_serving_surface_is_uniform(backend):
+    """Every back-end publishes versions and serves snapshot views with
+    the same shape — the serving tier never special-cases a back-end."""
+    info = backend.snapshot_info()
+    assert set(info) >= {"version", "pending_ops", "replicas"}
+    assert backend.publish() == info["version"] + 1
+    view = backend.snapshot_view()
+    assert view.all_docs().to_bytes() == backend.all_docs().to_bytes()
+    after = backend.snapshot_info()
+    assert after["replicas"], "snapshot_view must attach a replica"
+    assert all(r["version"] == after["version"] for r in after["replicas"])
+
+
+def test_service_snapshot_tracks_publishes():
+    service = SimulatedSearchService("svc", documents=CORPUS)
+    view = service.snapshot_view()
+    before = view.all_docs().to_bytes()
+    service.add_document("late", "late breaking fingerprint news")
+    assert service.snapshot_view().all_docs().to_bytes() == before
+    service.publish()
+    assert service.snapshot_view().all_docs().to_bytes() == \
+        service.all_docs().to_bytes()
+
+
 def test_service_roundtrips_through_to_obj():
     service = SimulatedSearchService("svc", documents=CORPUS,
                                      titles={"fp-survey": "The Survey"})
