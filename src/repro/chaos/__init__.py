@@ -1,0 +1,32 @@
+"""Chaos orchestration plane (robustness soak harness).
+
+Composes every fault surface the earlier layers grew — device crash /
+torn-write / ENOSPC plans, RPC failure schedules and circuit breakers,
+shard kill/restore, replica lag, mid-drain crash points — into seeded,
+fully deterministic soak scenarios, and checks a fixed invariant list at
+every convergence window.  The same machinery backs the ``chaos`` shell
+commands, the chaos tests, and ``benchmarks/bench_chaos_soak.py``.
+
+* :mod:`repro.chaos.schedule` — :class:`ChaosSchedule`: the timed fault
+  events a seed expands into;
+* :mod:`repro.chaos.orchestrator` — :class:`ChaosRun`: twin worlds (one
+  under chaos, one fault-free oracle) driven by one workload stream;
+* :mod:`repro.chaos.invariants` — heal, check, and the canonical state
+  digest the oracle comparison uses.
+"""
+
+from repro.chaos.invariants import check_invariants, heal, state_digest
+from repro.chaos.orchestrator import PROBE_QUERIES, ChaosRun, ChaosWorld
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule, generate
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosRun",
+    "ChaosSchedule",
+    "ChaosWorld",
+    "PROBE_QUERIES",
+    "check_invariants",
+    "generate",
+    "heal",
+    "state_digest",
+]

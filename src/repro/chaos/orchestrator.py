@@ -1,0 +1,462 @@
+"""Twin-world chaos soak: one world under fault injection, one oracle.
+
+The orchestrator drives two :class:`ChaosWorld` instances — identical
+corpus, semantic directories, remote mount, and watch set — through one
+seeded workload stream.  The *chaos* world additionally executes a
+:class:`~repro.chaos.schedule.ChaosSchedule`; the *oracle* world never
+sees a fault and runs the eager maintenance path.  Every operation is
+generated from a **model** of the file population (never from live world
+state), applied to the chaos world first, and mirrored to the oracle
+only when it demonstrably took effect — so at every convergence window
+the two worlds must agree on the canonical state digest, whatever faults
+fired in between.
+
+The mirror decision is the subtle part.  A chaos-world operation can end
+three ways:
+
+* it returns — applied; mirror it;
+* it raises with **no** effect (admission shed, breaker rejection,
+  ENOSPC rolled back in process) — count it shed, do not mirror;
+* it raises with **partial** effect (a crash froze the device mid-op, a
+  threshold drain failed *after* the file write landed) — undecidable
+  from the exception alone, so the runner recovers (when the device is
+  frozen) and then **probes the post-state**: the op is mirrored exactly
+  when its observable effect survived.
+
+Because every probe reads only post-recovery state, the chaos world and
+the oracle track the same file population deterministically; clocks,
+doc-id burn, and mtimes are allowed to diverge and are excluded from the
+digest by construction (see :mod:`repro.chaos.invariants`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.chaos.schedule import ChaosSchedule, generate
+from repro.core.hacfs import HacFileSystem
+from repro.errors import (AdmissionRejected, BackendUnavailable,
+                          DeviceCrashed, ReproError)
+from repro.remote.rpc import CircuitBreaker, RpcTransport
+from repro.remote.searchsvc import SimulatedSearchService
+from repro.shell.session import HacShell
+from repro.util.clock import VirtualClock
+from repro.util.stats import Counters
+from repro.vfs.blockdev import FaultPlan
+from repro.vfs.filesystem import FileSystem
+from repro.workloads.mailgen import MailGenerator
+
+#: the fixed query panel every invariant check and digest evaluates
+PROBE_QUERIES = ("fingerprint", "project", "fingerprint AND project",
+                 "budget OR deadline")
+
+#: breaker settings for the soak's remote name space (matches the
+#: cluster's defaults so one cooldown heals everything)
+REMOTE_BREAKER_THRESHOLD = 3
+REMOTE_BREAKER_COOLDOWN = 30.0
+
+_NOTES = {
+    "/notes/fp-design.txt": "design notes for the fingerprint matcher "
+                            "minutiae extraction and ridge counting",
+    "/notes/budget.txt": "project budget draft numbers for the deadline",
+    "/notes/recipe.txt": "banana bread recipe with walnuts",
+}
+
+_REMOTE_DOCS = {
+    "fp-survey": "survey of fingerprint recognition methods",
+    "fp-sensors": "capacitive fingerprint sensors in practice",
+    "nn-paper": "convolutional networks for images",
+}
+
+#: workload op mix (weights); reads dominate like a mail/Andrew day would
+_OP_MIX = (("write", 5), ("rewrite", 4), ("delete", 2), ("rename", 2),
+           ("pin", 1), ("read_strong", 5), ("read_snapshot", 4), ("tick", 3))
+
+
+class ChaosWorld:
+    """One complete HAC deployment the soak can fault or leave pristine.
+
+    :param k: search-cluster shards (0 = monolithic engine).
+    :param batched: run the maintenance scheduler in batched mode.
+    :param admission: enable the admission gate (chaos world only).
+    """
+
+    def __init__(self, k: int = 0, batched: bool = False,
+                 admission: bool = False, max_queue_depth: int = 64,
+                 mail_count: int = 8):
+        self.k = k
+        self.batched = batched
+        self.admission = admission
+        self.max_queue_depth = max_queue_depth
+        self.clock = VirtualClock()
+        self.counters = Counters()
+        if k > 0:
+            from repro.cluster import ClusterFactory
+
+            self.factory = ClusterFactory(shards=k, latency=0.0)
+        else:
+            self.factory = None
+        # a pinned fsid makes the soak reproducible across processes:
+        # doc keys embed the fsid, and the cluster hashes keys onto
+        # shards, so a process-unique id would reshuffle placement
+        fs = FileSystem(name="hac", clock=self.clock,
+                        counters=self.counters, fsid="hac#soak")
+        self.hac = HacFileSystem(fs=fs, clock=self.clock,
+                                 counters=self.counters,
+                                 engine_factory=self.factory)
+        self.shell = HacShell(self.hac)
+        self.hac.makedirs("/notes")
+        for path, text in sorted(_NOTES.items()):
+            self.hac.write_file(path, text.encode("utf-8"))
+        MailGenerator().populate(self.hac, "/mail", count=mail_count)
+        self.hac.makedirs("/lib")
+        self.service = SimulatedSearchService(
+            "digilib", documents=dict(_REMOTE_DOCS),
+            transport=RpcTransport(
+                "digilib", clock=self.clock, latency=0.0,
+                counters=self.counters,
+                breaker=CircuitBreaker(
+                    failure_threshold=REMOTE_BREAKER_THRESHOLD,
+                    cooldown=REMOTE_BREAKER_COOLDOWN,
+                    counters=self.counters, name="digilib")))
+        self._wire()
+        self.hac.smkdir("/q-fp", "fingerprint")
+        self.hac.smkdir("/q-proj", "project")
+        self.shell.ssync("/")
+        self.hac.maintenance.publish()
+
+    def _wire(self) -> None:
+        """In-memory service wiring — everything :meth:`recover` must redo
+        because a restore deliberately drops it."""
+        self.shell.smount("/lib", self.service)
+        self.hac.watch("/mail")
+        self.hac.watch("/notes")
+        if self.batched:
+            self.hac.maintenance.set_mode("batched")
+        if self.admission:
+            self.hac.admission.max_queue_depth = self.max_queue_depth
+            self.hac.admission.enable()
+
+    @property
+    def device(self):
+        return self.hac.fs.device
+
+    def recover(self) -> None:
+        """The reboot: restore from the device records, then re-wire the
+        in-memory state (mounts, watches, mode, admission) and reconverge."""
+        self.hac = HacFileSystem.restore(self.hac.fs, clock=self.clock,
+                                         counters=self.counters,
+                                         engine_factory=self.factory)
+        self.shell = HacShell(self.hac)
+        self._wire()
+        self.shell.ssync("/")
+        self.hac.maintenance.publish()
+
+    def remote_breaker(self) -> CircuitBreaker:
+        return self.service.transport.breaker
+
+    def shard_ids(self) -> List[str]:
+        if self.k == 0:
+            return []
+        return sorted(self.hac.engine.shards)
+
+
+class ChaosRun:
+    """One seeded soak: schedule + twin worlds + invariant windows.
+
+    All outcome counters land in the chaos world's ``chaos.*`` counter
+    scope, so a report is reproducible bit-for-bit from ``(seed, k,
+    steps, admission)``.
+    """
+
+    def __init__(self, seed: int = 0, k: int = 0, steps: int = 60,
+                 windows: int = 3, admission: bool = True,
+                 batched: bool = True, max_queue_depth: int = 64,
+                 schedule: Optional[ChaosSchedule] = None):
+        self.seed = seed
+        self.k = k
+        self.steps = steps
+        self.windows = max(1, windows)
+        self.chaos = ChaosWorld(k=k, batched=batched, admission=admission,
+                                max_queue_depth=max_queue_depth)
+        self.oracle = ChaosWorld(k=0, batched=False, admission=False)
+        self.schedule = schedule if schedule is not None else generate(
+            seed, steps=steps, shard_ids=self.chaos.shard_ids())
+        self._rng = random.Random(seed * 7919 + 17)
+        self._stats = self.chaos.counters.scoped("chaos")
+        #: model of the mutable file population — the single source every
+        #: workload op draws from; updated only on confirmed application
+        self._model: Dict[str, str] = {}
+        self._pinned: set = set()
+        self._name_counter = 0
+        self.violations: List[str] = []
+        self._ops = [op for op, weight in _OP_MIX for _ in range(weight)]
+
+    # ------------------------------------------------------------------
+    # schedule interpretation
+    # ------------------------------------------------------------------
+
+    def _apply_event(self, event) -> None:
+        world = self.chaos
+        kind, args = event.kind, event.args
+        self._stats.add(f"events.{kind}")
+        if kind == "kill_shard" and world.k > 0:
+            world.hac.engine.kill_shard(args["shard"])
+        elif kind == "revive_shard" and world.k > 0:
+            world.hac.engine.revive_shard(args["shard"])
+        elif kind == "remote_down":
+            world.service.transport.fail_on = None
+            world.service.transport.failure_rate = 1.0
+        elif kind == "remote_up":
+            world.service.transport.failure_rate = 0.0
+        elif kind == "lag":
+            publishes = args["publishes"]
+            if world.k > 0 and args.get("shard"):
+                world.hac.engine.set_replica_lag(args["shard"], publishes)
+            else:
+                for replica in world.hac.engine.snapshot_info()["replicas"]:
+                    self._set_monolith_lag(world, str(replica["id"]),
+                                           publishes)
+        elif kind == "enospc":
+            device = world.device
+            base = device.record_write_index
+            self._arm(device, enospc_at=set(range(base,
+                                                  base + args["burst"])))
+        elif kind == "tear":
+            device = world.device
+            self._arm(device,
+                      tear_at=device.record_write_index + args["offset"])
+        elif kind == "crash":
+            device = world.device
+            self._arm(device,
+                      crash_at=device.record_write_index + args["offset"])
+
+    def _set_monolith_lag(self, world: ChaosWorld, replica_id: str,
+                          publishes: int) -> None:
+        if world.k > 0:
+            shard = replica_id.split(":", 1)[0]
+            world.hac.engine.set_replica_lag(shard, publishes,
+                                             replica_id=replica_id)
+        else:
+            world.hac.engine.set_replica_lag(replica_id, publishes)
+
+    @staticmethod
+    def _arm(device, crash_at=None, tear_at=None, enospc_at=()):
+        """Merge new fault indices into whatever plan is already armed."""
+        plan = device.fault_plan
+        device.set_fault_plan(FaultPlan(
+            crash_at=crash_at if crash_at is not None
+            else (plan.crash_at if plan else None),
+            tear_at=tear_at if tear_at is not None
+            else (plan.tear_at if plan else None),
+            enospc_at=(set(plan.enospc_at) if plan else set()) | set(enospc_at),
+        ))
+
+    # ------------------------------------------------------------------
+    # workload generation (model-driven, world-independent)
+    # ------------------------------------------------------------------
+
+    def _new_path(self) -> str:
+        self._name_counter += 1
+        root = self._rng.choice(("/mail", "/notes"))
+        return f"{root}/w{self._name_counter:04d}.txt"
+
+    def _content(self) -> str:
+        topics = ("fingerprint", "project", "budget", "deadline", "lunch")
+        words = [self._rng.choice(topics) for _ in range(3)]
+        return ("From: chaos\nSubject: %s soak\n\nupdate about the %s\n"
+                % (words[0], " and the ".join(words)))
+
+    def _pick_op(self) -> Dict[str, object]:
+        """One workload op, decided entirely by the rng and the model."""
+        op = self._rng.choice(self._ops)
+        unpinned = sorted(set(self._model) - self._pinned)
+        if op == "rewrite" and not self._model:
+            op = "write"
+        if op in ("delete", "rename", "pin") and not unpinned:
+            op = "write"
+        if op == "write":
+            return {"op": "write", "path": self._new_path(),
+                    "text": self._content()}
+        if op == "rewrite":
+            path = self._rng.choice(sorted(self._model))
+            return {"op": "write", "path": path, "text": self._content()}
+        if op == "delete":
+            return {"op": "delete", "path": self._rng.choice(unpinned)}
+        if op == "rename":
+            path = self._rng.choice(unpinned)
+            self._name_counter += 1
+            new = "%s/r%04d.txt" % (path.rsplit("/", 1)[0],
+                                    self._name_counter)
+            return {"op": "rename", "path": path, "new": new}
+        if op == "pin":
+            return {"op": "pin", "path": self._rng.choice(unpinned)}
+        if op == "read_strong":
+            return {"op": "read", "consistency": "strong",
+                    "query": self._rng.choice(PROBE_QUERIES)}
+        if op == "read_snapshot":
+            return {"op": "read", "consistency": "snapshot",
+                    "query": self._rng.choice(PROBE_QUERIES)}
+        return {"op": "tick"}
+
+    # ------------------------------------------------------------------
+    # application + probing
+    # ------------------------------------------------------------------
+
+    def _apply(self, world: ChaosWorld, op: Dict[str, object]) -> bool:
+        """Run *op* against *world*; returns whether it had its intended
+        effect (a pin can miss when degraded evaluation left the target
+        out of the directory — that is a no-op, not a failure)."""
+        kind = op["op"]
+        if kind == "write":
+            world.hac.write_file(op["path"], op["text"].encode("utf-8"))
+        elif kind == "delete":
+            world.hac.unlink(op["path"])
+        elif kind == "rename":
+            world.hac.rename(op["path"], op["new"])
+        elif kind == "pin":
+            world.shell.ssync("/q-fp")
+            link = self._link_for(world, op["path"])
+            if link is None:
+                return False
+            world.hac.make_permanent(link)
+        elif kind == "read":
+            world.shell.glimpse(op["query"],
+                                consistency=op["consistency"])
+        elif kind == "tick":
+            world.clock.advance(1.0)
+            world.hac.maintenance.drain(reason="chaos_tick")
+        return True
+
+    @staticmethod
+    def _link_for(world: ChaosWorld, target: str) -> Optional[str]:
+        """Path of the /q-fp link pointing at *target*, if membership
+        currently includes it (deterministic: both worlds ssync first)."""
+        from repro.chaos.invariants import resolve_display
+
+        for name, (_cls, display) in sorted(world.hac.links("/q-fp").items()):
+            if resolve_display(world, display) == target:
+                return f"/q-fp/{name}"
+        return None
+
+    def _probe_applied(self, world: ChaosWorld, op: Dict[str, object]) -> bool:
+        """Did *op*'s observable effect survive into the post-state?"""
+        fs = world.hac.fs
+        kind = op["op"]
+        if kind == "write":
+            return fs.isfile(op["path"]) and \
+                fs.read_file(op["path"]) == op["text"].encode("utf-8")
+        if kind == "delete":
+            return not fs.exists(op["path"], follow=False)
+        if kind == "rename":
+            return fs.exists(op["new"], follow=False) and \
+                not fs.exists(op["path"], follow=False)
+        if kind == "pin":
+            link = self._link_for(world, op["path"])
+            return link is not None and \
+                world.hac.links("/q-fp")[link.rsplit("/", 1)[1]][0] \
+                == "permanent"
+        return False  # reads / ticks have no mirrored effect
+
+    def _note_applied(self, op: Dict[str, object]) -> None:
+        kind = op["op"]
+        if kind == "write":
+            self._model[op["path"]] = op["text"]
+        elif kind == "delete":
+            self._model.pop(op["path"], None)
+        elif kind == "rename":
+            self._model[op["new"]] = self._model.pop(op["path"])
+            if op["path"] in self._pinned:
+                # the semantic link now tracks the new path; keep the pin
+                self._pinned.discard(op["path"])
+                self._pinned.add(op["new"])
+        elif kind == "pin":
+            self._pinned.add(op["path"])
+
+    def _step(self, op: Dict[str, object]) -> None:
+        mutates = op["op"] in ("write", "delete", "rename", "pin")
+        applied = False
+        raised = False
+        try:
+            applied = self._apply(self.chaos, op)
+            self._stats.add("applied" if applied else "missed")
+        except DeviceCrashed:
+            raised = True
+            self._stats.add("crashes_hit")
+            self.chaos.recover()
+            self._stats.add("recoveries")
+            applied = mutates and self._probe_applied(self.chaos, op)
+            self._stats.add("applied" if applied else "lost_to_crash")
+        except AdmissionRejected:
+            raised = True
+            self._stats.add("shed")
+            applied = mutates and self._probe_applied(self.chaos, op)
+        except (BackendUnavailable, ReproError):
+            raised = True
+            self._stats.add("failed")
+            applied = mutates and self._probe_applied(self.chaos, op)
+        if op["op"] == "read":
+            self._stats.add(f"reads_{op['consistency']}")
+            if raised:
+                # the serving-tier promise under test: snapshot reads are
+                # in-process and must never fail, whatever is on fire
+                self._stats.add(f"reads_{op['consistency']}_failed")
+        if op["op"] == "tick":
+            # the oracle's clock moves in lockstep even when the chaos
+            # tick died mid-drain (virtual time is not transactional)
+            self.oracle.clock.advance(1.0)
+            self.oracle.hac.maintenance.drain(reason="chaos_tick")
+            return
+        if not mutates:
+            return
+        if applied:
+            self._apply(self.oracle, op)
+            self._note_applied(op)
+        else:
+            self._stats.add("dropped_mutations")
+
+    # ------------------------------------------------------------------
+    # the soak loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> Dict[str, object]:
+        """Execute the full soak; returns the structured report."""
+        from repro.chaos.invariants import check_invariants, heal
+
+        window = max(1, self.steps // self.windows)
+        for step in range(self.steps):
+            for event in self.schedule.at(step):
+                self._apply_event(event)
+            self._step(self._pick_op())
+            self._stats.add("steps")
+            if (step + 1) % window == 0 or step == self.steps - 1:
+                heal(self.chaos)
+                heal(self.oracle)
+                self._stats.add("windows")
+                found = check_invariants(self.chaos, oracle=self.oracle,
+                                         queries=PROBE_QUERIES)
+                self.violations.extend(
+                    f"step {step + 1}: {v}" for v in found)
+        return self.report()
+
+    def report(self) -> Dict[str, object]:
+        get = self._stats.get
+        return {
+            "seed": self.seed,
+            "k": self.k,
+            "steps": int(get("steps")),
+            "events": len(self.schedule),
+            "windows": int(get("windows")),
+            "applied": int(get("applied")),
+            "shed": int(get("shed")),
+            "failed": int(get("failed")),
+            "crashes_hit": int(get("crashes_hit")),
+            "recoveries": int(get("recoveries")),
+            "dropped_mutations": int(get("dropped_mutations")),
+            "reads_strong": int(get("reads_strong")),
+            "reads_snapshot": int(get("reads_snapshot")),
+            "admission": self.chaos.hac.admission.status(),
+            "violations": list(self.violations),
+            "ok": not self.violations,
+        }

@@ -1,0 +1,138 @@
+"""Seeded chaos schedules: which fault fires at which workload step.
+
+A :class:`ChaosSchedule` is data, not behaviour — a sorted list of
+:class:`ChaosEvent` rows the orchestrator interprets against a live
+world.  Keeping the schedule pure makes a soak reproducible from nothing
+but ``(seed, steps, topology)``: the same seed always expands to the
+same faults at the same steps, and a failing run can be replayed (or
+bisected) by re-generating its schedule.
+
+Event kinds and their arguments:
+
+``kill_shard`` / ``revive_shard``
+    ``{"shard": id}`` — partition one search shard off / bring it back.
+``remote_down`` / ``remote_up``
+    ``{"remote": ns_id}`` — fail every RPC to a mounted name space
+    (breakers trip after their threshold) / stop failing them.
+``lag``
+    ``{"shard": id_or_None, "publishes": n}`` — replica staleness
+    injection; shard ``None`` targets a monolithic engine's replicas.
+``enospc``
+    ``{"burst": n}`` — arm *n* consecutive transient no-space faults at
+    the device's current record-write index.
+``tear``
+    ``{"offset": n}`` — arm a torn write *n* record writes ahead: the
+    device persists a truncated payload, then freezes exactly as with
+    ``crash``; recovery heals the corrupt record from the journal.
+``crash``
+    ``{"offset": n}`` — arm a device crash *n* record writes ahead; the
+    device freezes when it fires and the orchestrator recovers.
+
+Within one step, events apply in a fixed kind order (kills before
+revivals, faults armed before anything that might consume them) so a
+schedule never depends on generation order for its meaning.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: all kinds a schedule may contain, in their within-step apply order
+KIND_ORDER = ("kill_shard", "remote_down", "lag", "enospc", "tear",
+              "crash", "revive_shard", "remote_up")
+
+
+class ChaosEvent:
+    """One timed fault: fire *kind* with *args* before workload step *step*."""
+
+    __slots__ = ("step", "kind", "args")
+
+    def __init__(self, step: int, kind: str, args: Optional[Dict] = None):
+        if kind not in KIND_ORDER:
+            raise ValueError(f"unknown chaos event kind: {kind!r}")
+        self.step = step
+        self.kind = kind
+        self.args: Dict = dict(args or {})
+
+    def to_obj(self) -> Dict:
+        return {"step": self.step, "kind": self.kind, "args": dict(self.args)}
+
+    def __repr__(self) -> str:
+        return f"ChaosEvent(step={self.step}, kind={self.kind!r}, args={self.args})"
+
+
+class ChaosSchedule:
+    """An immutable, step-ordered fault script."""
+
+    def __init__(self, events: Iterable[ChaosEvent], steps: int, seed: int):
+        self.steps = steps
+        self.seed = seed
+        self._events: List[ChaosEvent] = sorted(
+            events, key=lambda e: (e.step, KIND_ORDER.index(e.kind)))
+        self._by_step: Dict[int, List[ChaosEvent]] = {}
+        for event in self._events:
+            self._by_step.setdefault(event.step, []).append(event)
+
+    @property
+    def events(self) -> List[ChaosEvent]:
+        return list(self._events)
+
+    def at(self, step: int) -> List[ChaosEvent]:
+        """Events to apply before workload step *step* (already ordered)."""
+        return list(self._by_step.get(step, []))
+
+    def to_obj(self) -> Dict:
+        return {"seed": self.seed, "steps": self.steps,
+                "events": [e.to_obj() for e in self._events]}
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def generate(seed: int, steps: int = 80,
+             shard_ids: Sequence[str] = (),
+             remote_ids: Sequence[str] = ("digilib",),
+             crashes: int = 1,
+             tears: int = 1,
+             enospc_bursts: int = 1,
+             lag_events: int = 1) -> ChaosSchedule:
+    """Expand *seed* into a soak schedule over *steps* workload steps.
+
+    Every outage (shard kill, remote down) schedules its own recovery a
+    bounded number of steps later, so faults overlap but none is
+    permanent — the convergence windows between faults are where the
+    invariant checker runs.  The rng is local to this function; the same
+    arguments always produce the same schedule.
+    """
+    if steps < 10:
+        raise ValueError("a soak needs at least 10 steps")
+    rng = random.Random(seed * 2654435761 % (2 ** 31) + steps)
+    events: List[ChaosEvent] = []
+
+    def outage(kind_down: str, kind_up: str, key: str, value: str) -> None:
+        start = rng.randrange(1, max(2, steps - 6))
+        length = rng.randrange(3, 9)
+        events.append(ChaosEvent(start, kind_down, {key: value}))
+        events.append(ChaosEvent(min(steps - 1, start + length), kind_up,
+                                 {key: value}))
+
+    for shard in shard_ids:
+        outage("kill_shard", "revive_shard", "shard", shard)
+    for remote in remote_ids:
+        outage("remote_down", "remote_up", "remote", remote)
+    for _ in range(lag_events):
+        shard = rng.choice(list(shard_ids)) if shard_ids else None
+        events.append(ChaosEvent(rng.randrange(1, steps),
+                                 "lag", {"shard": shard,
+                                         "publishes": rng.randrange(1, 4)}))
+    for _ in range(enospc_bursts):
+        events.append(ChaosEvent(rng.randrange(1, steps),
+                                 "enospc", {"burst": rng.randrange(1, 4)}))
+    for _ in range(tears):
+        events.append(ChaosEvent(rng.randrange(1, steps),
+                                 "tear", {"offset": rng.randrange(0, 4)}))
+    for _ in range(crashes):
+        events.append(ChaosEvent(rng.randrange(1, steps),
+                                 "crash", {"offset": rng.randrange(0, 4)}))
+    return ChaosSchedule(events, steps=steps, seed=seed)

@@ -737,6 +737,12 @@ class ShardedSearchCluster:
             transport.breaker.record_success()
         self._stats.add("revivals")
 
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        """Shard id → its transport's breaker (only monitored shards)."""
+        return {sid: shard.transport.breaker
+                for sid, shard in self.shards.items()
+                if shard.transport.breaker is not None}
+
     def health(self) -> Dict[str, str]:
         """Shard id → ``down`` / breaker state / ``unmonitored``."""
         out: Dict[str, str] = {}

@@ -50,6 +50,7 @@ from repro.cba.incremental import ReindexPlan
 from repro.cba.queryast import content_projection
 from repro.cba.queryparser import parse_query
 from repro.cba.transducers import default_transducer
+from repro.core.admission import AdmissionController
 from repro.core.consistency import ConsistencyManager
 from repro.core.datacon import ReindexScheduler
 from repro.core.depgraph import DependencyGraph
@@ -112,6 +113,9 @@ class HacFileSystem:
         #: the write-side maintenance pipeline (eager by default; flip to
         #: batched with ``maintenance.set_mode("batched")``)
         self.maintenance = MaintenanceScheduler(self)
+        #: admission gate (disabled by default) consulted before queries
+        #: and mutations when back-ends degrade
+        self.admission = AdmissionController(self)
         self.scheduler = ReindexScheduler(self)
         self.watches = WatchManager(self)
         self.attrcache = AttributeCache(capacity=attr_cache_capacity,
@@ -352,6 +356,7 @@ class HacFileSystem:
 
     def create(self, path: str, mode: int = 0o644) -> StatResult:
         """Create a file; HAC also primes the attribute cache (§4)."""
+        self.admission.admit_write(path)
         self._hac.add("create")
         if self.obs.trace.enabled:
             self.obs.trace.event("hac.create", path=path)
@@ -363,6 +368,7 @@ class HacFileSystem:
         return stat
 
     def write_file(self, path: str, data: bytes, append: bool = False) -> int:
+        self.admission.admit_write(path)
         self._hac.add("write_file")
         norm = self._library_resolve(path)
         n = self.fs.write_file(path, data, append=append)
@@ -686,9 +692,18 @@ class HacFileSystem:
                 "stale_shards": dict(state.stale_shards),
                 "stale_links": self._stale_link_names(state),
             }
+        breakers: Dict[str, object] = {
+            ns_id: b.describe() for ns_id, b in self.semmounts.breakers().items()
+        }
+        engine_breakers = getattr(self.engine, "breakers", None)
+        if callable(engine_breakers):
+            for b in engine_breakers().values():
+                breakers[b.name] = b.describe()
         return {"backends": self.semmounts.health(),
                 "shards": self.engine.health(),
                 "snapshots": self.engine.snapshot_info(),
+                "breakers": breakers,
+                "admission": self.admission.status(),
                 "directories": directories}
 
     def _stale_link_names(self, state) -> List[str]:
@@ -732,15 +747,25 @@ class HacFileSystem:
 
     def make_permanent(self, link_path: str) -> None:
         """Promote a transient link so re-evaluation can never drop it
-        (part of the paper's sophisticated-user API)."""
+        (part of the paper's sophisticated-user API).
+
+        Journaled like every other multi-structure mutation: the promote
+        is only real once the state record lands, so a failed or torn
+        flush rolls the in-memory classification back too — the chaos
+        soak caught the un-journaled version persisting "permanent" in
+        memory only, which a later crash silently demoted.
+        """
         parent = pathutil.dirname(pathutil.normalize(link_path))
         name = pathutil.basename(pathutil.normalize(link_path))
         uid, state = self._state_of(parent)
-        target = state.links.transient.pop(name, None)
-        if target is None:
+        if name not in state.links.transient:
             raise InvalidArgument(link_path, "not a transient link")
-        state.links.add_permanent(name, target)
-        self.meta.flush(uid)
+        with self._journaled("make_permanent",
+                             {"path": self.dirmap.path_of(uid),
+                              "link": name}):
+            target = state.links.transient.pop(name)
+            state.links.add_permanent(name, target)
+            self.meta.flush(uid)
 
     def unprohibit(self, dir_path: str, target_text: str) -> bool:
         """Lift a tombstone: *target_text* is a path or ``ns://doc`` URI."""
@@ -1026,6 +1051,7 @@ class HacFileSystem:
         hacfs.scopes = ScopeResolver(hacfs)
         hacfs.consistency = ConsistencyManager(hacfs)
         hacfs.maintenance = MaintenanceScheduler(hacfs)
+        hacfs.admission = AdmissionController(hacfs)
         hacfs.scheduler = ReindexScheduler(hacfs)
         hacfs.watches = WatchManager(hacfs)
         hacfs.attrcache = AttributeCache(counters=hacfs.counters)

@@ -158,6 +158,7 @@ class MaintenanceScheduler:
 
     def note_upsert(self, key, path: str, mtime: float) -> None:
         """A covered file was written or created; its index entry is dirty."""
+        self.hacfs.admission.admit_enqueue()
         self._stats.add("events")
         engine = self.hacfs.engine
         entry = self._pending.get(key)
@@ -206,7 +207,14 @@ class MaintenanceScheduler:
         return had_doc
 
     def note_move(self, key, new_path: str, mtime: float) -> None:
-        """A covered file moved; refresh its path (and name-derived terms)."""
+        """A covered file moved; refresh its path (and name-derived terms).
+
+        Deliberately not admission-gated: a shed upsert merely leaves
+        content stale until the next sync's mtime diff catches it, but a
+        shed move would strand the old path in the index forever (an
+        in-place move keeps the document mtime, so incremental reindex
+        never notices).
+        """
         self._stats.add("events")
         engine = self.hacfs.engine
         entry = self._pending.get(key)

@@ -265,6 +265,19 @@ class CircuitOpen(BackendUnavailable):
         self.namespace = backend
 
 
+class AdmissionRejected(BackendUnavailable):
+    """The admission controller shed this operation.
+
+    Raised *before* any state is touched when load shedding is enabled,
+    back-ends are degraded, and the maintenance queue is at its bound —
+    degradation as a serving policy rather than a partial result.
+    Subclasses :class:`BackendUnavailable` so every existing degradation
+    handler treats a shed write exactly like an unreachable back-end.
+    """
+
+    kind = "admission gate"
+
+
 class StaleHandle(HacError):
     """A link target no longer resolves to a live file (data inconsistency)."""
 

@@ -33,7 +33,9 @@ the virtual clock:
 from __future__ import annotations
 
 import random
-from typing import Callable, FrozenSet, Iterable, Optional, TypeVar
+from collections import deque
+from typing import (Callable, Deque, Dict, FrozenSet, Iterable, Optional,
+                    TypeVar)
 
 from repro.errors import BackendUnavailable, CircuitOpen, RemoteUnavailable
 from repro.obs.trace import NULL_TRACER, TraceContext
@@ -93,8 +95,19 @@ class RetryPolicy:
         return delay
 
 
+#: transitions each breaker remembers (newest last); enough to reconstruct
+#: any realistic flap sequence without growing during a long soak
+TRANSITION_LOG = 64
+
+
 class CircuitBreaker:
     """Per-backend breaker: closed → open → half-open on the virtual clock.
+
+    Every state change is recorded three ways: a bounded in-memory
+    transition log (``old``/``new``/virtual time/op id — surfaced through
+    ``hac.health()['breakers']``), the ``transitions``/``opens``/``closes``
+    counters, and — when tracing is on — an ``rpc.breaker`` event stamped
+    with the op id of the journaled operation that drove the transition.
 
     :param failure_threshold: consecutive failures that trip the breaker.
     :param cooldown: virtual seconds the breaker stays open before letting
@@ -118,15 +131,38 @@ class CircuitBreaker:
         self.state = "closed"
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
+        #: bounded log of state changes, newest last
+        self.transitions: Deque[Dict[str, object]] = deque(
+            maxlen=TRANSITION_LOG)
+
+    def _current_op_id(self) -> Optional[int]:
+        """Op id of the operation driving this transition: the journal
+        sequence stamped on the tracer's root span, when one is open."""
+        stack = getattr(self.tracer, "_stack", None)
+        if stack:
+            return stack[0].op_id
+        return None
 
     def _transition(self, new_state: str) -> None:
         if new_state == self.state:
             return
+        op_id = self._current_op_id()
+        self.transitions.append({
+            "old": self.state,
+            "new": new_state,
+            "at": self.clock.now if self.clock is not None else 0.0,
+            "op": op_id,
+        })
         self._stats.add("transitions")
         if self.tracer.enabled:
-            self.tracer.event("rpc.breaker", name=self.name,
+            self.tracer.event("rpc.breaker", op_id=op_id, name=self.name,
                               old=self.state, new=new_state)
         self.state = new_state
+
+    def describe(self) -> Dict[str, object]:
+        """Health-report entry: current state plus the transition log."""
+        return {"state": self.state,
+                "transitions": [dict(t) for t in self.transitions]}
 
     @property
     def retry_at(self) -> Optional[float]:

@@ -134,6 +134,16 @@ class SemanticMountTable:
             out[ns_id] = breaker.state if breaker is not None else "unmonitored"
         return out
 
+    def breakers(self) -> Dict[str, object]:
+        """Namespace id → :class:`~repro.remote.rpc.CircuitBreaker` for
+        every mounted name space whose transport carries one."""
+        out: Dict[str, object] = {}
+        for ns_id, ns in sorted(self._by_id.items()):
+            breaker = getattr(getattr(ns, "transport", None), "breaker", None)
+            if breaker is not None:
+                out[ns_id] = breaker
+        return out
+
     def is_mount_point(self, path: str) -> bool:
         uid = self._uid_of(path)
         return uid is not None and uid in self._mounts

@@ -39,9 +39,16 @@ commands:
   ssync [--async] [PATH]  reindex + re-evaluate dependents (--async queues it)
   sched [status|mode M|drain|publish]  maintenance scheduler (modes: eager,
                         batched; publish forces a snapshot publish, no drain)
+  sched lag ID N        lag replica ID (cluster: shard0 or shard0:r1) N publishes
   smount PATH demo      mount the demo digital library semantically
   smkcluster [K]        shard the content index across K engines (default 3)
   shards                per-shard doc counts, health, and RPC traffic
+  shards kill|restore S partition shard S off / heal it again
+  admit [status|on|off] breaker-driven admission gate (downgrade strong
+                        reads, shed writes past the queue-depth bound)
+  chaos run [SEED [K [STEPS]]]  seeded fault-injection soak in a twin
+                        world, invariant-checked against a clean oracle
+  chaos status          report of the last chaos run
   glimpse QUERY...      ad-hoc search
   swatch/sunwatch PATH  automatic index maintenance for a subtree
   fsck [--repair]       audit HAC's internal structures
@@ -155,11 +162,21 @@ def _dispatch(shell: HacShell, cmd: str, args: List[str]) -> Optional[str]:
     if cmd == "smkcluster":
         return shell.smkcluster(int(args[0]) if args else 3)
     if cmd == "shards":
+        if args and args[0] in ("kill", "restore"):
+            if len(args) < 2:
+                return f"usage: shards {args[0]} SHARD"
+            if args[0] == "kill":
+                return f"killed {shell.shards_kill(args[1])}"
+            return f"restored {shell.shards_restore(args[1])}"
         rows = shell.shards()
         if not rows:
             return "(engine is not a cluster — try 'smkcluster')"
         return "\n".join(f"{sid}  docs={docs}  {health}  calls={calls}"
                          for sid, docs, health, calls in rows)
+    if cmd == "admit":
+        return _admit_command(shell, args)
+    if cmd == "chaos":
+        return _chaos_command(shell, args)
     if cmd == "glimpse":
         return "\n".join(shell.glimpse(" ".join(args)))
     if cmd == "swatch":
@@ -191,7 +208,48 @@ def _sched_command(shell: HacShell, args: List[str]) -> str:
         return f"drained ({shell.sched_drain()} index ops)"
     if sub == "publish":
         return f"published snapshot version {shell.sched_publish()}"
-    return f"unknown sched subcommand: {sub} (status|mode|drain|publish)"
+    if sub == "lag":
+        if len(args) < 3:
+            return "usage: sched lag REPLICA PUBLISHES"
+        lagged = shell.sched_lag(args[1], int(args[2]))
+        return f"lagged {lagged} by {args[2]} publish(es)"
+    return f"unknown sched subcommand: {sub} (status|mode|drain|publish|lag)"
+
+
+def _render_status(status: dict) -> str:
+    return "\n".join(f"{k}: {v}" for k, v in status.items())
+
+
+def _admit_command(shell: HacShell, args: List[str]) -> str:
+    sub = args[0] if args else "status"
+    if sub == "status":
+        return _render_status(shell.admit_status())
+    if sub == "on":
+        return _render_status(shell.admit_on())
+    if sub == "off":
+        return _render_status(shell.admit_off())
+    return f"unknown admit subcommand: {sub} (status|on|off)"
+
+
+def _chaos_command(shell: HacShell, args: List[str]) -> str:
+    sub = args[0] if args else "status"
+    if sub == "run":
+        seed = int(args[1]) if len(args) > 1 else 0
+        k = int(args[2]) if len(args) > 2 else 0
+        steps = int(args[3]) if len(args) > 3 else 40
+        report = shell.chaos_run(seed=seed, k=k, steps=steps)
+        lines = [f"{key}: {report[key]}"
+                 for key in ("seed", "k", "steps", "applied", "shed",
+                             "failed", "crashes_hit", "recoveries", "ok")]
+        lines.extend(f"violation: {v}" for v in report["violations"])
+        return "\n".join(lines)
+    if sub == "status":
+        report = shell.chaos_status()
+        if report is None:
+            return "(no chaos run yet — try 'chaos run 1')"
+        import json
+        return json.dumps(report, indent=2, sort_keys=True, default=str)
+    return f"unknown chaos subcommand: {sub} (run|status)"
 
 
 def _trace_command(shell: HacShell, args: List[str]) -> str:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import FileNotFound, NotADirectory
+from repro.errors import FileNotFound, InvalidArgument, NotADirectory
 from repro.util import pathutil
 from repro.core.hacfs import HacFileSystem
 from repro.remote.namespace import NameSpace
@@ -211,6 +211,26 @@ class HacShell:
                  int(shard.transport.calls))
                 for sid, shard in engine.shards.items()]
 
+    def shards_kill(self, shard_id: str) -> str:
+        """Partition one shard off (every RPC to it fails until revival)."""
+        engine = self.hacfs.engine
+        if not hasattr(engine, "kill_shard"):
+            raise InvalidArgument(shard_id, "engine is not a sharded cluster")
+        if shard_id not in engine.shards:
+            raise InvalidArgument(shard_id, "no such shard")
+        engine.kill_shard(shard_id)
+        return shard_id
+
+    def shards_restore(self, shard_id: str) -> str:
+        """Heal a killed shard and force its breaker closed."""
+        engine = self.hacfs.engine
+        if not hasattr(engine, "revive_shard"):
+            raise InvalidArgument(shard_id, "engine is not a sharded cluster")
+        if shard_id not in engine.shards:
+            raise InvalidArgument(shard_id, "no such shard")
+        engine.revive_shard(shard_id)
+        return shard_id
+
     # -- maintenance scheduler ----------------------------------------------------
 
     def sched_status(self) -> dict:
@@ -230,6 +250,61 @@ class HacShell:
         """Force a snapshot publish of the engine's current state without
         draining the pending batch; returns the new version."""
         return self.hacfs.maintenance.publish()
+
+    def sched_lag(self, replica: str, publishes: int) -> str:
+        """Make replicas skip the next *publishes* publishes (the
+        staleness-injection control behind ``sched lag``).
+
+        On a cluster, ``shard0:r1`` lags one replica and a bare
+        ``shard0`` lags the whole shard; on a monolithic engine the
+        argument is a replica id (see ``snapshot_info()['replicas']``).
+        """
+        engine = self.hacfs.engine
+        if hasattr(engine, "shards"):
+            shard_id = replica.split(":", 1)[0]
+            if shard_id not in engine.shards:
+                raise InvalidArgument(replica, "no such shard")
+            engine.set_replica_lag(
+                shard_id, publishes,
+                replica_id=replica if ":" in replica else None)
+        else:
+            engine.set_replica_lag(replica, publishes)
+        return replica
+
+    # -- admission control --------------------------------------------------------
+
+    def admit_status(self) -> dict:
+        """The admission gate's structured status (also in health())."""
+        return self.hacfs.admission.status()
+
+    def admit_on(self) -> dict:
+        self.hacfs.admission.enable()
+        return self.hacfs.admission.status()
+
+    def admit_off(self) -> dict:
+        self.hacfs.admission.disable()
+        return self.hacfs.admission.status()
+
+    # -- chaos soak ---------------------------------------------------------------
+
+    def chaos_run(self, seed: int = 0, k: int = 0, steps: int = 40,
+                  windows: int = 2, admission: bool = True) -> dict:
+        """Run one seeded chaos soak in a *throwaway* twin world (this
+        shell's file system is untouched) and return its report; the
+        report is kept for ``chaos_status``."""
+        # lazy import: repro.chaos builds worlds out of this module, so a
+        # top-level import would be circular
+        from repro.chaos import ChaosRun
+
+        run = ChaosRun(seed=seed, k=k, steps=steps, windows=windows,
+                       admission=admission)
+        run.run()
+        self._last_chaos = run.report()
+        return self._last_chaos
+
+    def chaos_status(self) -> Optional[dict]:
+        """The report of the last ``chaos_run`` in this session, if any."""
+        return getattr(self, "_last_chaos", None)
 
     # -- observability -----------------------------------------------------------
 
@@ -281,6 +356,9 @@ class HacShell:
 
         if consistency not in ("strong", "snapshot"):
             raise ValueError(f"unknown consistency level: {consistency!r}")
+        # the admission gate may downgrade a strong read to snapshot while
+        # back-ends are degraded (a no-op until 'admit on')
+        consistency = self.hacfs.admission.admit_read(consistency)
         if consistency == "snapshot":
             return self._glimpse_snapshot(query, scope_path)
         # ad-hoc searches honour the same pre-query barrier as semantic

@@ -104,9 +104,13 @@ class FileSystem:
     def __init__(self, name: str = "fs",
                  clock: Optional[VirtualClock] = None,
                  counters: Optional[Counters] = None,
-                 device: Optional[BlockDevice] = None):
+                 device: Optional[BlockDevice] = None,
+                 fsid: Optional[str] = None):
         self.name = name
-        self.fsid = f"{name}#{next(_fsid_counter)}"
+        # fsid defaults to a process-unique id; callers needing runs that
+        # are reproducible across processes (the chaos soak hashes doc
+        # keys — which embed the fsid — onto shards) pin it explicitly
+        self.fsid = fsid if fsid is not None else f"{name}#{next(_fsid_counter)}"
         self.clock = clock if clock is not None else VirtualClock()
         self.counters = counters if counters is not None else Counters()
         self._ops = self.counters.scoped("vfs")

@@ -77,6 +77,46 @@ def test_aliases_keep_raising_on_unknown_directories(populated):
         populated.health("/no/such/dir")
 
 
+def test_combined_degradation_one_report(degraded_remote):
+    """Stale shard + open remote breaker + pending maintenance at once:
+    every axis lands in the same ``health()`` snapshot."""
+    from repro.cluster import ClusterFactory
+
+    hac = degraded_remote                      # digilib breaker already open
+    factory = ClusterFactory(shards=2, latency=0.0)
+    cluster = factory(hac._load_doc, counters=hac.counters,
+                      clock=hac.clock, transducer=hac.engine.transducer,
+                      num_blocks=hac.engine.num_blocks,
+                      fast_path=hac.engine.fast_path)
+    hac.adopt_engine(cluster)
+    victim = cluster.shard_of(next(iter(cluster.all_docs()), 0)) or "shard0"
+    cluster.kill_shard(victim)
+    hac.clock.tick()
+    hac.ssync("/fp")                           # marks the shard stale
+    # queue an intent *after* the sync (ssync's barrier drains the queue)
+    hac.maintenance.set_mode("batched")
+    hac.watch("/notes")
+    hac.write_file("/notes/pending.txt", b"fingerprint update queued\n")
+
+    report = hac.health()
+    # axis 1: the dead shard, globally and per directory
+    assert report["shards"][victim] == "down"
+    assert victim in report["directories"]["/fp"]["stale_shards"]
+    # axis 2: the remote breaker, in backends and the breakers section
+    assert report["backends"]["digilib"] == "open"
+    assert report["breakers"]["digilib"]["state"] == "open"
+    assert report["breakers"]["digilib"]["transitions"]
+    assert "digilib" in report["directories"]["/fp"]["stale_remote"]
+    # axis 3: the queued maintenance intent
+    assert report["admission"]["pending"] >= 1
+    # and the admission gate reads the same world as degraded
+    hac.admission.enable()
+    degraded = hac.admission.degraded_backends()
+    assert "digilib" in degraded
+    assert f"shard.{victim}" in degraded
+    assert report["admission"]["enabled"] is False   # snapshot predates enable
+
+
 def test_dead_shard_surfaces_in_health(populated):
     from repro.cluster import ClusterFactory
 
