@@ -35,6 +35,7 @@ from repro.cba.queryast import (
     Term,
     has_field_terms,
 )
+from repro.cba.segments import SegmentRow, SegmentStore
 from repro.cba.tokenizer import DEFAULT_STOPWORDS, index_terms
 from repro.cba.transducers import Transducer
 
@@ -95,7 +96,8 @@ class CBAEngine:
                  transducer: Optional[Transducer] = None,
                  cache_size: int = 64,
                  counters: Optional[Counters] = None,
-                 fast_path: bool = True):
+                 fast_path: bool = True,
+                 segmented: bool = False):
         self.loader = loader
         self.counters = counters if counters is not None else Counters()
         self._stats = self.counters.scoped("engine")
@@ -143,6 +145,12 @@ class CBAEngine:
         self._replicas: List = []
         self._pending_ops: List[IndexOp] = []
         self._route_rr = 0
+        # segmented storage plane (LSM-style memtable + frozen segments);
+        # the in-memory aggregates above still answer every query, so the
+        # toggle cannot change a single search result — it changes how
+        # mutations are persisted, published, and recovered
+        self.segments: Optional[SegmentStore] = (
+            SegmentStore(counters=self.counters) if segmented else None)
 
     # ------------------------------------------------------------------
     # registry
@@ -614,7 +622,12 @@ class CBAEngine:
     def _emit(self, kind: str, doc_id: int, key: Hashable, path: str,
               mtime: float, terms: Optional[Set[str]] = None,
               text: Optional[str] = None) -> None:
-        if self._replicas:
+        if self.segments is not None:
+            # the memtable subsumes the op log: replicas catch up from
+            # sealed segments, persistence folds them, so every mutation
+            # is noted regardless of whether a replica is attached
+            self.segments.note(kind, doc_id, key, path, mtime, terms, text)
+        elif self._replicas:
             self._pending_ops.append(
                 IndexOp(kind, doc_id, key, path, mtime, terms, text))
 
@@ -624,11 +637,33 @@ class CBAEngine:
         Replicas that are not deliberately lagged replay the buffered op
         log and stamp the new version; the fully-applied prefix of the
         buffer is then truncated (lagged replicas pin their suffix).
+        With the segmented store, the memtable is sealed (an exact
+        snapshot cut) and replicas are handed the frozen segments
+        appended since their cursor instead of replaying ops — the
+        sealed log is truncated at the min cursor the same way.
         Returns the new version.
         """
         self._published_version += 1
         version = self._published_version
-        if self._replicas:
+        if self._replicas and self.segments is not None:
+            self.segments.seal()
+            log = self.segments.sealed_log
+            upto = len(log)
+            for replica in self._replicas:
+                if replica.lag > 0:
+                    replica.lag -= 1
+                    continue
+                replica.apply_segments(log, upto, version)
+            low = min(r.cursor for r in self._replicas)
+            if low:
+                self.segments.truncate_log(low)
+                for replica in self._replicas:
+                    replica.cursor -= low
+        elif self.segments is not None:
+            # nobody consumes the sealed log without replicas; drop it
+            # (a later attach starts its cursor at the log tail anyway)
+            self.segments.truncate_log(len(self.segments.sealed_log))
+        elif self._replicas:
             upto = len(self._pending_ops)
             for replica in self._replicas:
                 if replica.lag > 0:
@@ -657,7 +692,12 @@ class CBAEngine:
             replica_id = f"r{len(self._replicas)}"
         replica = ReadReplica(replica_id, self)
         replica.hydrate(self, self._published_version)
-        replica.cursor = len(self._pending_ops)
+        if self.segments is not None:
+            # hydration copies live state, which includes the memtable's
+            # unsealed rows — the replica is current past the whole log
+            replica.cursor = len(self.segments.sealed_log)
+        else:
+            replica.cursor = len(self._pending_ops)
         replica.lag = lag
         self._replicas.append(replica)
         self._stats.add("replicas_attached")
@@ -684,13 +724,24 @@ class CBAEngine:
         return candidates[self._route_rr % len(candidates)]
 
     def snapshot_info(self) -> Dict[str, object]:
-        """Published version, buffered op count, and per-replica state."""
-        return {
+        """Published version, buffered op count, and per-replica state.
+
+        Under the segmented store "pending" counts memtable rows plus
+        sealed rows some replica has yet to apply, and the live frozen
+        segment count is reported alongside.
+        """
+        info = {
             "version": self._published_version,
             "pending_ops": len(self._pending_ops),
             "replicas": [{"id": r.replica_id, "version": r.version,
                           "lag": r.lag} for r in self._replicas],
         }
+        if self.segments is not None:
+            info["pending_ops"] = (
+                len(self.segments.memtable)
+                + sum(len(s) for s in self.segments.sealed_log))
+            info["segments"] = len(self.segments.frozen)
+        return info
 
     def set_replica_lag(self, replica_id: str, publishes: int) -> None:
         """Make one replica skip the next *publishes* publishes."""
@@ -758,11 +809,16 @@ class CBAEngine:
                  transducer: Optional[Transducer] = None,
                  counters: Optional[Counters] = None,
                  fast_path: bool = True,
-                 cache_size: int = 64) -> "CBAEngine":
+                 cache_size: int = 64,
+                 segmented: bool = False) -> "CBAEngine":
         """Rebuild an engine from :meth:`to_obj` output without re-reading
-        or re-tokenising a single document."""
+        or re-tokenising a single document.  With *segmented*, a fresh
+        store is attached and seeded with a base segment covering the
+        restored documents, so later compactions and segment restores
+        have an upsert row for every live document."""
         engine = cls(loader=loader, transducer=transducer, counters=counters,
-                     fast_path=fast_path, cache_size=cache_size)
+                     fast_path=fast_path, cache_size=cache_size,
+                     segmented=segmented)
         engine.index = GlimpseIndex.from_obj(obj["index"],
                                              counters=engine.counters,
                                              track_doc_postings=fast_path)
@@ -771,7 +827,54 @@ class CBAEngine:
             engine._docs[doc_id] = Document(doc_id, key, path, mtime, size)
             engine._by_key[key] = doc_id
         engine._next_doc_id = obj["next"]
+        if engine.segments is not None:
+            engine.segments.seed_base(engine.doc_rows())
         engine._stats.add("restored_docs", len(engine._docs))
+        return engine
+
+    def doc_rows(self) -> Dict[Hashable, "SegmentRow"]:
+        """Synthesize upsert :class:`SegmentRow`\\ s for every live
+        document from the index's removal map (term ids → strings via the
+        lexicon) — no loader read, no tokenisation.  Text is omitted;
+        rows built here seed base segments, never replica catch-up."""
+        lexicon = self.index.lexicon
+        rows: Dict[Hashable, SegmentRow] = {}
+        for doc_id, doc in self._docs.items():
+            terms = frozenset(lexicon.term(tid)
+                              for tid in self.index._doc_terms.get(doc_id, ()))
+            rows[doc.key] = SegmentRow("upsert", doc_id, doc.key, doc.path,
+                                       doc.mtime, doc.size, terms, None)
+        return rows
+
+    @classmethod
+    def from_segments(cls, store: SegmentStore,
+                      loader: Callable[[Hashable], str],
+                      next_doc_id: int = 0,
+                      transducer: Optional[Transducer] = None,
+                      counters: Optional[Counters] = None,
+                      fast_path: bool = True,
+                      cache_size: int = 64,
+                      num_blocks: int = DEFAULT_NUM_BLOCKS) -> "CBAEngine":
+        """Rebuild an engine by folding *store*'s frozen segments —
+        reindex-as-merge.  Each document's newest upsert row carries the
+        term set the original engine computed, so the rebuild is pure
+        index insertion: zero loader reads, zero tokenisations (the
+        counter Ablation N's merge-vs-rebuild guard compares)."""
+        engine = cls(loader=loader, num_blocks=num_blocks,
+                     transducer=transducer, counters=counters,
+                     fast_path=fast_path, cache_size=cache_size,
+                     segmented=True)
+        engine.segments = store
+        rows = store.live_rows()
+        for key, row in sorted(rows.items(), key=lambda kv: kv[1].doc_id):
+            engine.index.add(row.doc_id, row.terms)
+            engine._docs[row.doc_id] = Document(row.doc_id, key, row.path,
+                                                row.mtime, row.size)
+            engine._by_key[key] = row.doc_id
+            engine._next_doc_id = max(engine._next_doc_id, row.doc_id + 1)
+        engine._next_doc_id = max(engine._next_doc_id, next_doc_id)
+        engine._stats.add("restored_docs", len(engine._docs))
+        engine._stats.add("merged_rows", len(rows))
         return engine
 
     def corpus_bytes(self) -> int:

@@ -100,10 +100,14 @@ def resolve_display(world, display: str) -> str:
     return display
 
 
-def _semdirs(world) -> Dict[str, Dict[str, object]]:
+def _semdirs(world,
+             paths: Optional[Sequence[str]] = None
+             ) -> Dict[str, Dict[str, object]]:
     hac = world.hac
     out: Dict[str, Dict[str, object]] = {}
-    for path in ("/q-fp", "/q-proj"):
+    if paths is None:
+        paths = sorted(hac.semantic_dirs())
+    for path in paths:
         out[path] = {
             "links": {name: [cls, resolve_display(world, display)]
                       for name, (cls, display)

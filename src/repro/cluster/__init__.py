@@ -50,7 +50,8 @@ class ClusterFactory:
                  seed: int = 0,
                  retry_factory: Optional[Callable] = None,
                  breaker_factory: Optional[Callable] = None,
-                 replicas_per_shard: int = 1):
+                 replicas_per_shard: int = 1,
+                 segmented: bool = False):
         if shard_ids is None:
             shard_ids = [f"shard{i}" for i in range(shards)]
         self.shard_ids = list(shard_ids)
@@ -59,6 +60,7 @@ class ClusterFactory:
         self.retry_factory = retry_factory
         self.breaker_factory = breaker_factory
         self.replicas_per_shard = replicas_per_shard
+        self.segmented = segmented
 
     def __call__(self, loader, *, counters=None, clock=None, transducer=None,
                  num_blocks: int = DEFAULT_NUM_BLOCKS,
@@ -69,7 +71,8 @@ class ClusterFactory:
             clock=clock, latency=self.latency, seed=self.seed,
             retry_factory=self.retry_factory,
             breaker_factory=self.breaker_factory,
-            replicas_per_shard=self.replicas_per_shard)
+            replicas_per_shard=self.replicas_per_shard,
+            segmented=self.segmented)
 
     def from_obj(self, obj, *, loader, counters=None, clock=None,
                  transducer=None, fast_path: bool = True
@@ -78,4 +81,5 @@ class ClusterFactory:
             obj, loader, transducer=transducer, counters=counters,
             fast_path=fast_path, clock=clock, latency=self.latency,
             seed=self.seed, retry_factory=self.retry_factory,
-            breaker_factory=self.breaker_factory)
+            breaker_factory=self.breaker_factory,
+            segmented=self.segmented)

@@ -275,7 +275,8 @@ class ShardedSearchCluster:
                  retry_factory: Optional[Callable[[str], RetryPolicy]] = None,
                  breaker_factory: Optional[
                      Callable[[str], CircuitBreaker]] = None,
-                 replicas_per_shard: int = 1):
+                 replicas_per_shard: int = 1,
+                 segmented: bool = False):
         self.loader = loader
         self.counters = counters if counters is not None else Counters()
         self._stats = self.counters.scoped("cluster")
@@ -285,6 +286,9 @@ class ShardedSearchCluster:
         self.stopwords = DEFAULT_STOPWORDS if stopwords is None else stopwords
         self.transducer = transducer
         self.fast_path = fast_path
+        #: shard engines keep segmented (memtable + frozen segment)
+        #: storage, so per-shard publishes hand replicas segment lists
+        self.segmented = segmented
         self.latency = latency
         self.seed = seed
         self._retry_factory = retry_factory
@@ -320,7 +324,8 @@ class ShardedSearchCluster:
                            stopwords=self.stopwords,
                            transducer=self.transducer,
                            cache_size=0,  # answers depend on shipped blocks
-                           counters=self.counters, fast_path=self.fast_path)
+                           counters=self.counters, fast_path=self.fast_path,
+                           segmented=self.segmented)
         engine.tracer = self._tracer
         engine.metrics = self._metrics
         # a shard added mid-life starts at the cluster's published version,
@@ -857,7 +862,8 @@ class ShardedSearchCluster:
                  seed: int = 0,
                  retry_factory: Optional[Callable[[str], RetryPolicy]] = None,
                  breaker_factory: Optional[
-                     Callable[[str], CircuitBreaker]] = None
+                     Callable[[str], CircuitBreaker]] = None,
+                 segmented: bool = False
                  ) -> "ShardedSearchCluster":
         """Rebuild a cluster from :meth:`to_obj` output without re-reading
         or re-tokenising a single document."""
@@ -867,12 +873,13 @@ class ShardedSearchCluster:
                       transducer=transducer, counters=counters,
                       fast_path=fast_path, clock=clock, latency=latency,
                       seed=seed, retry_factory=retry_factory,
-                      breaker_factory=breaker_factory)
+                      breaker_factory=breaker_factory, segmented=segmented)
         for sid, shard in cluster.shards.items():
             engine = CBAEngine.from_obj(obj["shards"][sid], loader=loader,
                                         transducer=transducer,
                                         counters=cluster.counters,
-                                        fast_path=fast_path, cache_size=0)
+                                        fast_path=fast_path, cache_size=0,
+                                        segmented=segmented)
             # from_obj builds with tokeniser defaults; restore the
             # cluster's configuration for post-restore maintenance
             engine.min_term_length = cluster.min_term_length

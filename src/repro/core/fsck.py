@@ -61,6 +61,7 @@ def hacfsck(hacfs: "HacFileSystem", repair: bool = False) -> List[Finding]:
     findings += _check_graph(hacfs)
     findings += _check_links(hacfs, repair)
     findings += _check_index(hacfs)
+    findings += _check_segments(hacfs, repair)
     return findings
 
 
@@ -187,6 +188,34 @@ def _check_links(hacfs, repair: bool) -> List[Finding]:
                 if repair:
                     hacfs.fs.unlink(entry)
                     hacfs.fs.symlink(expected, entry)
+    return out
+
+
+def _check_segments(hacfs, repair: bool = False) -> List[Finding]:
+    """Segment-store agreement: every ``seg:`` record on the device must
+    be named by the ``segmanifest``, and every manifest entry must have a
+    record.  An orphan record is data a crashed (un-rolled-back) seal or
+    compaction left behind; a missing record means the manifest promises
+    state recovery cannot deliver.  ``repair`` deletes orphan records
+    (they are unreachable by construction — restore folds only what the
+    manifest names)."""
+    out: List[Finding] = []
+    device = hacfs.fs.device
+    on_device = {key[4:] for key in device.record_keys()
+                 if key.startswith("seg:")}
+    try:
+        manifest = hacfs.meta.load_aux("segmanifest") or {}
+    except Exception:
+        manifest = {}
+    named = set(manifest.get("segments", ()))
+    for seg_id in sorted(on_device - named):
+        out.append(Finding("error", "orphan-segment", f"seg:{seg_id}",
+                           "segment record not named by the manifest"))
+        if repair:
+            device.delete_record(f"seg:{seg_id}")
+    for seg_id in sorted(named - on_device):
+        out.append(Finding("error", "missing-segment", f"seg:{seg_id}",
+                           "manifest names a segment with no record"))
     return out
 
 

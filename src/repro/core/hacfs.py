@@ -74,15 +74,20 @@ class HacFileSystem:
                  attr_cache_capacity: int = 256,
                  fast_path: bool = True,
                  obs: Optional[Observability] = None,
-                 engine_factory=None):
+                 engine_factory=None,
+                 path_map: bool = True,
+                 segmented: bool = True):
         self.counters = counters if counters is not None else Counters()
         self.clock = clock if clock is not None else VirtualClock()
         #: the observability plane — disabled by default; enable with
         #: ``hac.obs.enable()`` (or pass one in already enabled)
         self.obs = obs if obs is not None else Observability(
             clock=self.clock, counters=self.counters)
+        # *path_map* only shapes a FileSystem built here; a caller-supplied
+        # *fs* keeps whatever resolution cache it was constructed with
         self.fs = fs if fs is not None else FileSystem(
-            name="hac", clock=self.clock, counters=self.counters)
+            name="hac", clock=self.clock, counters=self.counters,
+            path_map=path_map)
         self._hac = self.counters.scoped("hac")
         self.dirmap = GlobalDirectoryMap()
         self.meta = MetaStore(self.fs.device)
@@ -105,7 +110,8 @@ class HacFileSystem:
                                     num_blocks=num_blocks,
                                     transducer=default_transducer,
                                     counters=self.counters,
-                                    fast_path=fast_path)
+                                    fast_path=fast_path,
+                                    segmented=segmented)
         self.semmounts = SemanticMountTable(uid_of=self.dirmap.uid_of,
                                             path_of=self.dirmap.path_of)
         self.scopes = ScopeResolver(self)
@@ -865,6 +871,54 @@ class HacFileSystem:
         version = self.engine.publish()
         self.journal.note_publish(version)
 
+    def _persist_segments(self, force_seal: bool = False,
+                          force_compact: bool = False) -> None:
+        """Seal/compact the engine's segment store and sync it to disk.
+
+        MUST run inside an open journal intent: segment records and the
+        manifest are written (and compacted-away records deleted) under
+        the intent's pre-image capture, so a crash at any device write
+        rolls the whole segment list back to its pre-intent state.  The
+        scheduler calls this from every ``sched_batch`` drain
+        (threshold-policed); ``reindex`` forces a full seal + merge —
+        reindex *is* compaction in the segmented design.  Engines
+        without a store (clusters, segments-off) make this a no-op.
+        """
+        store = getattr(self.engine, "segments", None)
+        if store is None:
+            return
+        from repro.util import serialization
+
+        device = self.fs.device
+        changed = False
+        if force_seal or store.should_seal:
+            with self.obs.trace.span("cba.seal", rows=len(store.memtable)):
+                changed = store.seal() is not None or changed
+        if force_compact or store.should_compact:
+            with self.obs.trace.span("cba.compact",
+                                     segments=len(store.frozen)):
+                changed = store.compact() is not None or changed
+        # on-device truth, not the in-memory set: a soft-failure rollback
+        # can restore records underneath us, and re-deriving what needs
+        # writing from record_keys() self-heals that divergence
+        on_device = {key[4:] for key in device.record_keys()
+                     if key.startswith("seg:")}
+        live = {seg.seg_id for seg in store.frozen}
+        for seg in store.frozen:
+            if seg.seg_id not in on_device:
+                device.write_record(f"seg:{seg.seg_id}",
+                                    serialization.dumps(seg.to_obj()))
+                changed = True
+        for seg_id in sorted(on_device - live):
+            device.delete_record(f"seg:{seg_id}")
+            changed = True
+        store.persisted = live
+        if changed:
+            manifest = dict(store.to_manifest())
+            manifest["next"] = getattr(self.engine, "_next_doc_id", 0)
+            manifest["num_blocks"] = self.engine.num_blocks
+            self.meta.flush_aux("segmanifest", manifest)
+
     def reindex(self, path: str = "/") -> ReindexPlan:
         """Reindex the files under *path* (crossing syntactic mounts)."""
         self._hac.add("reindex")
@@ -899,6 +953,9 @@ class HacFileSystem:
                             for d in self.engine.all_docs())
                 if doc is not None
             })
+            # reindex-as-merge: everything the reindex noted is sealed and
+            # the frozen list folded to one segment, inside this intent
+            self._persist_segments(force_seal=True, force_compact=True)
         self._publish_engine()
         return plan
 
@@ -999,7 +1056,8 @@ class HacFileSystem:
                 reuse_index: bool = True,
                 fast_path: bool = True,
                 obs: Optional[Observability] = None,
-                engine_factory=None) -> "HacFileSystem":
+                engine_factory=None,
+                segmented: bool = True) -> "HacFileSystem":
         """Rebuild a HAC file system from the records persisted on *fs*'s
         device (crash recovery / reopen).
 
@@ -1011,9 +1069,11 @@ class HacFileSystem:
 
         Link classifications and queries come back verbatim; the content
         index is restored from the persisted copy when one exists (see
-        :meth:`save_index`) and brought current by an incremental sync, or
-        rebuilt from scratch when no record exists.  An *unreadable*
-        ``cbaindex`` record is neither: it raises
+        :meth:`save_index`), else — with *segmented* — merged back from
+        the persisted segment list with zero tokenisation
+        (reindex-as-merge), and brought current by an incremental sync;
+        it is rebuilt from scratch only when neither record exists.  An
+        *unreadable* ``cbaindex`` record is neither: it raises
         :class:`~repro.errors.CorruptRecord` (and counts
         ``restore.index_corrupt``) instead of silently rebuilding — a
         checksum failure means data loss the caller must acknowledge
@@ -1089,8 +1149,16 @@ class HacFileSystem:
                 hacfs.engine = CBAEngine.from_obj(
                     saved, loader=hacfs._load_doc,
                     transducer=default_transducer, counters=hacfs.counters,
-                    fast_path=fast_path)
+                    fast_path=fast_path, segmented=segmented)
             restore_stats.add("index_restored")
+        elif (reuse_index and segmented and engine_factory is None
+              and (segment_state := cls._load_segments(hacfs)) is not None):
+            store, next_doc, num_blocks = segment_state
+            hacfs.engine = CBAEngine.from_segments(
+                store, loader=hacfs._load_doc, next_doc_id=next_doc,
+                transducer=default_transducer, counters=hacfs.counters,
+                fast_path=fast_path, num_blocks=num_blocks)
+            restore_stats.add("index_from_segments")
         elif engine_factory is not None:
             hacfs.engine = engine_factory(loader=hacfs._load_doc,
                                           counters=hacfs.counters,
@@ -1102,10 +1170,42 @@ class HacFileSystem:
             hacfs.engine = CBAEngine(loader=hacfs._load_doc,
                                      transducer=default_transducer,
                                      counters=hacfs.counters,
-                                     fast_path=fast_path)
+                                     fast_path=fast_path,
+                                     segmented=segmented)
             restore_stats.add("index_rebuilds")
         hacfs._wire_obs()
         # a saved index makes this incremental (Θ(changes), not Θ(corpus))
         hacfs.ssync("/")
         return hacfs
+
+    @staticmethod
+    def _load_segments(hacfs: "HacFileSystem"):
+        """Load the persisted segment list, or ``None`` when there is no
+        usable manifest.  A manifest naming a missing segment record is
+        treated as unusable (counted, rebuild takes over) — recovery has
+        already rolled incomplete intents back, so this only happens when
+        records were lost outside any journaled write.  An unreadable
+        segment raises :class:`~repro.errors.CorruptRecord`, the same
+        acknowledge-your-data-loss contract as ``cbaindex``."""
+        from repro.cba.segments import Segment, SegmentStore
+
+        restore_stats = hacfs.counters.scoped("restore")
+        try:
+            manifest = hacfs.meta.load_aux("segmanifest")
+            if not manifest:
+                return None
+            segments = []
+            for seg_id in manifest.get("segments", ()):
+                raw = hacfs.meta.load_aux(f"seg:{seg_id}")
+                if raw is None:
+                    restore_stats.add("segment_missing")
+                    return None
+                segments.append(Segment.from_obj(raw))
+        except CorruptRecord:
+            restore_stats.add("segment_corrupt")
+            raise
+        store = SegmentStore(counters=hacfs.counters)
+        store.load_frozen(manifest, segments)
+        return (store, int(manifest.get("next", 0)),
+                int(manifest.get("num_blocks", 64)))
 

@@ -37,6 +37,7 @@ from repro.util.clock import VirtualClock
 from repro.util.stats import Counters
 from repro.vfs.blockdev import BlockDevice
 from repro.vfs.fd import FDTable, OpenFile
+from repro.vfs.pathmap import PathMap
 from repro.vfs.inode import (
     Attributes,
     DirNode,
@@ -105,7 +106,8 @@ class FileSystem:
                  clock: Optional[VirtualClock] = None,
                  counters: Optional[Counters] = None,
                  device: Optional[BlockDevice] = None,
-                 fsid: Optional[str] = None):
+                 fsid: Optional[str] = None,
+                 path_map: bool = True):
         self.name = name
         # fsid defaults to a process-unique id; callers needing runs that
         # are reproducible across processes (the chaos soak hashes doc
@@ -129,6 +131,15 @@ class FileSystem:
         #: observability hook (wired by HacFileSystem); syscalls emit trace
         #: events through it when enabled — one attribute check when not
         self.tracer = NULL_TRACER
+        #: the tree folded into a map (see repro.vfs.pathmap): literal
+        #: resolutions are served from one dict probe; mutators keep it
+        #: coherent with fs-local canonical keys.  None == walk-only.
+        self._pathmap: Optional[PathMap] = (
+            PathMap(is_live=self._node_is_live, counters=self.counters)
+            if path_map else None)
+
+    def _node_is_live(self, node) -> bool:
+        return self._inodes.get(node.ino) is node
 
     # ------------------------------------------------------------------
     # internals
@@ -168,7 +179,7 @@ class FileSystem:
         self._ops.add("namei")
         if self.tracer.enabled:
             self.tracer.event("vfs.namei", path=path)
-        fs, node = self._walk(path, follow_last=follow)
+        fs, node = self._resolve_norm(pathutil.normalize(path), follow=follow)
         return Resolved(fs, node)
 
     def _resolve_parent(self, path: str) -> Tuple["FileSystem", DirNode, str]:
@@ -180,13 +191,40 @@ class FileSystem:
         parent_path, name = pathutil.split(norm)
         if not name or name in (".", ".."):
             raise InvalidArgument(path, "operation needs a plain final component")
-        fs, node = self._walk(parent_path, follow_last=True)
+        fs, node = self._resolve_norm(parent_path, follow=True)
         if not node.is_dir:
             raise NotADirectory(parent_path)
         # a mount covering the parent was already followed by _walk
         return fs, node, name  # type: ignore[return-value]
 
-    def _walk(self, path: str, follow_last: bool) -> Tuple["FileSystem", Inode]:
+    def _resolve_norm(self, norm: str,
+                      follow: bool) -> Tuple["FileSystem", Inode]:
+        """Map-first resolution of a normalized path.
+
+        A cached entry is only ever a literal, mount-local, non-symlink
+        resolution (see :meth:`_walk`'s cacheability rules), so a hit is
+        valid for both ``follow`` modes and always owned by *self*.
+        """
+        pm = self._pathmap
+        if pm is not None:
+            node = pm.lookup(norm)
+            if node is not None:
+                return self, node
+        fs, node, literal = self._walk(norm, follow_last=follow)
+        if (pm is not None and literal and fs is self
+                and not node.is_symlink):
+            pm.insert(norm, node)
+        return fs, node
+
+    def _walk(self, path: str,
+              follow_last: bool) -> Tuple["FileSystem", Inode, bool]:
+        """Component walk; returns ``(fs, node, literal)``.
+
+        *literal* is True when the resolution is safe to cache in the
+        path map: no symlink was followed, no mount boundary crossed,
+        and no ``..`` component seen — i.e. the normalized input path
+        IS the node's fs-local canonical path.
+        """
         norm = pathutil.normalize(path)
         comps = list(pathutil.split_components(norm))
         # stack of (host_fs, covered_dirnode) for each mount crossing
@@ -194,9 +232,13 @@ class FileSystem:
         fs: FileSystem = self
         cur: Inode = self.root
         follows = 0
+        literal = True
+        steps = 0
         while comps:
+            steps += 1
             comp = comps.pop(0)
             if comp == "..":
+                literal = False
                 if cur is fs.root:
                     if stack:
                         fs, covered = stack.pop()
@@ -204,18 +246,23 @@ class FileSystem:
                     # else: ".." at the top root stays put (POSIX)
                 else:
                     if not cur.is_dir:
+                        self._ops.add("walk_steps", steps)
                         raise NotADirectory(norm)
                     cur = cur.parent if cur.parent is not None else fs.root
                 continue
             if not cur.is_dir:
+                self._ops.add("walk_steps", steps)
                 raise NotADirectory(norm)
             child = cur.lookup(comp)  # type: ignore[union-attr]
             if child is None:
+                self._ops.add("walk_steps", steps)
                 raise FileNotFound(norm)
             is_last = not comps
             if child.is_symlink and (not is_last or follow_last):
+                literal = False
                 follows += 1
                 if follows > MAX_SYMLINK_FOLLOWS:
+                    self._ops.add("walk_steps", steps)
                     raise SymlinkLoop(norm)
                 target = child.target  # type: ignore[union-attr]
                 tcomps = pathutil.split_components(target)
@@ -227,12 +274,43 @@ class FileSystem:
                 comps = tcomps + comps
                 continue
             if child.is_dir and child.ino in fs._mounts:
+                literal = False
                 stack.append((fs, child))  # type: ignore[arg-type]
                 fs = fs._mounts[child.ino]
                 cur = fs.root
                 continue
             cur = child
-        return fs, cur
+        if steps:
+            self._ops.add("walk_steps", steps)
+        return fs, cur, literal
+
+    # ------------------------------------------------------------------
+    # path-map coherence (see repro.vfs.pathmap for the protocol)
+    # ------------------------------------------------------------------
+
+    def _pm_key(self, parent: DirNode, name: str) -> Optional[str]:
+        """Fs-local canonical path of *name* under *parent*, or None when
+        the parent chain is detached (entry cannot be cached either)."""
+        try:
+            ppath = path_of(parent)
+        except ValueError:
+            return None
+        return pathutil.join(ppath, name)
+
+    def _pm_invalidate(self, parent: DirNode, name: str,
+                       prefix: bool = False) -> None:
+        """Invalidate the map entry for ``parent/name`` on *this* fs."""
+        pm = self._pathmap
+        if pm is None:
+            return
+        key = self._pm_key(parent, name)
+        if key is None:
+            pm.clear()
+            return
+        if prefix:
+            pm.invalidate_prefix(key)
+        else:
+            pm.invalidate(key)
 
     # ------------------------------------------------------------------
     # directories
@@ -278,6 +356,7 @@ class FileSystem:
             raise DeviceBusy(path, "is a mount point")
         if not node.is_empty():  # type: ignore[union-attr]
             raise DirectoryNotEmpty(path)
+        fs._pm_invalidate(parent, name)
         parent.detach(name)
         del fs._inodes[node.ino]
         parent.attrs.mtime = self.clock.now
@@ -394,6 +473,7 @@ class FileSystem:
             raise FileNotFound(path)
         if node.is_dir:
             raise IsADirectory(path)
+        fs._pm_invalidate(parent, name)
         parent.detach(name)
         del fs._inodes[node.ino]
         if isinstance(node, FileNode):
@@ -478,8 +558,22 @@ class FileSystem:
             del nfs._inodes[existing.ino]
             if isinstance(existing, FileNode):
                 nfs.device.allocate(len(existing.data), 0, new)
+        # canonical keys while both parents are still attached; the moved
+        # node's descendants keep their entries via a one-pass rebase
+        old_key = ofs._pm_key(oparent, oname)
+        new_key = ofs._pm_key(nparent, nname)
         oparent.detach(oname)
         nparent.attach(nname, node)
+        pm = ofs._pathmap
+        if pm is not None:
+            if old_key is None or new_key is None:
+                pm.clear()
+            else:
+                pm.invalidate(new_key)
+                if node.is_dir:
+                    pm.rebase_prefix(old_key, new_key)
+                else:
+                    pm.invalidate(old_key)
         now = self.clock.now
         oparent.attrs.mtime = now
         nparent.attrs.mtime = now
@@ -661,6 +755,13 @@ class FileSystem:
             raise DeviceBusy(path, "already a mount point")
         if fs is self:
             raise InvalidArgument(path, "cannot mount a file system on itself")
+        pm = res.fs._pathmap
+        if pm is not None:
+            cover = res.fs.path_of_ino(res.node.ino)
+            if cover is None:
+                pm.clear()
+            else:
+                pm.invalidate_prefix(cover)
         res.fs._mounts[res.node.ino] = fs
         self._notify("mount", path=pathutil.normalize(path), fs=res.fs, mounted=fs)
 
@@ -679,6 +780,7 @@ class FileSystem:
         if covered.ino not in fs._mounts:
             raise InvalidArgument(path, "not a mount point")
         mounted = fs._mounts.pop(covered.ino)
+        fs._pm_invalidate(parent, name, prefix=True)
         self._notify("unmount", path=norm, fs=fs, unmounted=mounted)
         return mounted
 

@@ -1,0 +1,173 @@
+"""Flat full-path → inode map: the tree folded into a hash table.
+
+Per "Folding a Tree into a Map" (Yodaiken) and "Reconstruct the
+Directories for In-Memory File Systems" (Zhang & Yang), component-wise
+``namei`` is replaced on the hot path by one dictionary probe over the
+normalized absolute path.  The map is an *accelerator*, never an
+authority: only resolutions that are provably literal are cached — the
+walk followed no symbolic link, crossed no mount point, saw no ``..``
+component, ended on a non-symlink node, and stayed inside the file
+system the call was made on.  Under those rules a cached path equals
+``path_of(node)`` exactly, so the owning file system can invalidate
+with fs-local canonical keys computed from the mutated parent.
+
+Coherence protocol (enforced by :class:`repro.vfs.filesystem.FileSystem`):
+
+* ``unlink``/``rmdir`` — exact invalidation of the removed path.
+* file ``rename`` — exact invalidation of both the old and new paths.
+* directory ``rename`` — exact invalidation of the (replaced) new path,
+  then :meth:`rebase_prefix`: every descendant entry is moved to its
+  new-prefix key and stamped with a fresh generation *in one pass*, so
+  post-rename stats on descendants hit the map without a tree walk.
+* ``mount``/``unmount`` — prefix invalidation of the cover path (the
+  covered subtree is shadowed or unshadowed wholesale).
+
+Stale entries are **detected, not trusted**: invalidation tombstones an
+entry (generation ``-1``) rather than silently deleting it, and lookup
+evicts tombstones with a counted ``stale`` miss.  A liveness probe
+(``is_live``) backstops the protocol — an entry whose node is no longer
+registered in the owning file system is treated as stale even if no
+invalidation ever named it.  The global :attr:`generation` counts
+invalidation events; entries remember the generation they were inserted
+(or rebased) under, which the rename-storm property test uses to prove
+no resolution is ever served from before the invalidation that should
+have killed it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.util.stats import Counters
+
+#: tombstone generation: the entry was invalidated and must not be served
+STALE = -1
+
+
+class PathMap:
+    """Normalized-full-path → node cache with generational invalidation.
+
+    The map never resolves anything itself; the owning
+    :class:`~repro.vfs.filesystem.FileSystem` inserts only literal,
+    mount-local, symlink-free resolutions and invalidates with fs-local
+    canonical keys (see the module docstring for the protocol).
+    """
+
+    def __init__(self, is_live: Optional[Callable[[object], bool]] = None,
+                 counters: Optional[Counters] = None):
+        #: path → (node, generation-at-insert); generation STALE == tombstone
+        self._entries: Dict[str, Tuple[object, int]] = {}
+        #: bumped once per invalidation *event* (not per entry touched)
+        self.generation = 0
+        self._is_live = is_live if is_live is not None else (lambda node: True)
+        counters = counters if counters is not None else Counters()
+        self._stats = counters.scoped("pathmap")
+
+    # ------------------------------------------------------------------
+    # lookup / insert
+    # ------------------------------------------------------------------
+
+    def lookup(self, path: str):
+        """The cached node for *path*, or ``None`` (miss or detected-stale)."""
+        entry = self._entries.get(path)
+        if entry is None:
+            self._stats.add("miss")
+            return None
+        node, gen = entry
+        if gen == STALE or not self._is_live(node):
+            # detected, not trusted: evict and report a counted stale miss
+            del self._entries[path]
+            self._stats.add("stale")
+            self._stats.add("miss")
+            return None
+        self._stats.add("hit")
+        return node
+
+    def insert(self, path: str, node) -> None:
+        """Cache *path* → *node* at the current generation."""
+        self._entries[path] = (node, self.generation)
+        self._stats.add("insert")
+
+    def entry_generation(self, path: str) -> Optional[int]:
+        """Generation stamp of the entry at *path* (``STALE`` if
+        tombstoned, ``None`` if absent) — observability for tests."""
+        entry = self._entries.get(path)
+        return None if entry is None else entry[1]
+
+    def live_keys(self) -> List[str]:
+        """Every non-tombstoned cached path — the oracle input for the
+        rename-storm property test (and ``hacstat``-style debugging)."""
+        return [k for k, (_n, gen) in self._entries.items() if gen != STALE]
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(self, path: str) -> int:
+        """Tombstone the exact entry at *path*; returns entries touched."""
+        self.generation += 1
+        touched = self._tombstone(path)
+        self._stats.add("invalidated", touched)
+        return touched
+
+    def invalidate_prefix(self, path: str) -> int:
+        """Tombstone *path* and every entry below it."""
+        self.generation += 1
+        touched = self._tombstone(path)
+        prefix = path.rstrip("/") + "/"
+        for key in [k for k in self._entries if k.startswith(prefix)]:
+            touched += self._tombstone(key)
+        self._stats.add("invalidated", touched)
+        return touched
+
+    def rebase_prefix(self, old: str, new: str) -> int:
+        """Move the entry at *old* and every descendant entry to its
+        *new*-prefix key in one pass, stamping each with a fresh
+        generation.  Returns entries moved.  Used on directory rename:
+        the nodes themselves are unchanged, only their canonical paths
+        shifted, so the entries stay servable at their new keys.
+        """
+        self.generation += 1
+        prefix = old.rstrip("/") + "/"
+        moved = 0
+        moves: List[Tuple[str, str, object]] = []
+        for key, (node, gen) in self._entries.items():
+            if gen == STALE:
+                continue
+            if key == old:
+                moves.append((key, new, node))
+            elif key.startswith(prefix):
+                moves.append((key, new.rstrip("/") + "/" + key[len(prefix):],
+                              node))
+        for key, target, node in moves:
+            del self._entries[key]
+            self._entries[target] = (node, self.generation)
+            moved += 1
+        self._stats.add("rebased", moved)
+        return moved
+
+    def clear(self) -> int:
+        """Drop everything (mount-table surgery, restore)."""
+        self.generation += 1
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._stats.add("invalidated", dropped)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # internals / introspection
+    # ------------------------------------------------------------------
+
+    def _tombstone(self, path: str) -> int:
+        entry = self._entries.get(path)
+        if entry is None or entry[1] == STALE:
+            return 0
+        self._entries[path] = (entry[0], STALE)
+        return 1
+
+    def __len__(self) -> int:
+        return sum(1 for _, gen in self._entries.values() if gen != STALE)
+
+    def __repr__(self):
+        return (f"PathMap(entries={len(self)}, "
+                f"generation={self.generation})")

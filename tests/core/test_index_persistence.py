@@ -57,9 +57,20 @@ class TestHacRecovery:
         assert revived.counters.get("engine.indexed") == 0
         assert sorted(revived.links("/fp")) == sorted(populated.links("/fp"))
 
-    def test_restore_without_saved_index_rebuilds(self, populated):
+    def test_restore_without_saved_index_merges_segments(self, populated):
+        # no explicit save_index, but the segmented store persisted the
+        # frozen segments at reindex time — restore folds them back with
+        # zero tokenisation (reindex-as-merge) instead of rebuilding
         populated.smkdir("/fp", "fingerprint")
         revived = HacFileSystem.restore(populated.fs)
+        assert revived.counters.get("restore.index_from_segments") == 1
+        assert revived.counters.get("engine.restored_docs") == 5
+        assert revived.counters.get("engine.indexed") == 0
+        assert sorted(revived.links("/fp")) == sorted(populated.links("/fp"))
+
+    def test_restore_without_segments_rebuilds(self, populated):
+        populated.smkdir("/fp", "fingerprint")
+        revived = HacFileSystem.restore(populated.fs, segmented=False)
         assert revived.counters.get("engine.restored_docs") == 0
         assert revived.counters.get("engine.indexed") == 5
         assert sorted(revived.links("/fp")) == sorted(populated.links("/fp"))

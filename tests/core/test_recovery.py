@@ -130,11 +130,22 @@ class TestRestoreRecovery:
 
 
 class TestIndexRestoreDistinction:
-    def test_no_record_rebuilds_and_counts(self, populated):
+    def test_no_record_restores_from_segments_and_counts(self, populated):
         from repro.util.stats import Counters
 
         counters = Counters()
         restored = HacFileSystem.restore(populated.fs, counters=counters)
+        assert counters.get("restore.index_from_segments") == 1
+        assert counters.get("restore.index_rebuilds") == 0
+        assert counters.get("restore.index_restored") == 0
+        assert errors(restored) == []
+
+    def test_no_record_no_segments_rebuilds_and_counts(self, populated):
+        from repro.util.stats import Counters
+
+        counters = Counters()
+        restored = HacFileSystem.restore(populated.fs, counters=counters,
+                                         segmented=False)
         assert counters.get("restore.index_rebuilds") == 1
         assert counters.get("restore.index_restored") == 0
         assert errors(restored) == []

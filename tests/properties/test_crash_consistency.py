@@ -322,3 +322,135 @@ def test_crash_during_recovery_is_recoverable(populated):
     restored = HacFileSystem.restore(populated.fs)
     assert [f for f in restored.fsck() if f.severity == "error"] == []
     assert not restored.exists("/fp")
+
+
+# ----------------------------------------------------------------------
+# segment plane: seal and compaction ride the same intents
+# ----------------------------------------------------------------------
+
+def _seg_keys(dev):
+    return {k for k in dev.record_keys() if k.startswith("seg:")}
+
+
+def _manifest_names(hac):
+    try:
+        manifest = hac.meta.load_aux("segmanifest") or {}
+    except Exception:
+        return set()
+    return {f"seg:{sid}" for sid in manifest.get("segments", ())}
+
+
+def _assert_segment_list_consistent(hac, where):
+    """The crash-atomicity contract for the segment store: whatever the
+    offset, the device's ``seg:`` records and the manifest agree."""
+    assert _seg_keys(hac.fs.device) == _manifest_names(hac), where
+
+
+def build_seal_world(trace: bool = False) -> HacFileSystem:
+    """The batched world with the seal threshold floored, so every drain
+    cuts a segment and persists it inside the ``sched_batch`` intent."""
+    hac = build_sched_world(trace=trace)
+    hac.engine.segments.seal_threshold = 1
+    return hac
+
+
+def test_crash_sweep_seal_intent():
+    """Crash at every record write inside a drain that seals: the seal's
+    segment records and manifest must roll back with the batch — fsck
+    clean, segment list consistent, and the reopen re-lands the batch."""
+    dry = build_seal_world()
+    before_keys = _seg_keys(dry.fs.device)
+    start = dry.fs.device.record_write_index
+    _mutate_sched(dry)
+    n_writes = dry.fs.device.record_write_index - start
+    # the sweep is only meaningful if the drain actually persisted a
+    # sealed segment (new seg: records appeared)
+    assert _seg_keys(dry.fs.device) - before_keys, "drain sealed nothing"
+    for offset in range(n_writes):
+        hac = build_seal_world()
+        dev = hac.fs.device
+        dev.set_fault_plan(
+            FaultPlan(crash_at=dev.record_write_index + offset))
+        with pytest.raises(DeviceCrashed):
+            _mutate_sched(hac)
+        restored = HacFileSystem.restore(hac.fs)
+        errors = [f for f in restored.fsck() if f.severity == "error"]
+        assert errors == [], (offset, [str(f) for f in errors])
+        _assert_segment_list_consistent(restored, offset)
+        names = fp_link_names(restored)
+        assert "new1.txt" in names, offset
+        assert "b.txt" not in names, offset
+
+
+def build_compact_world(trace: bool = False) -> HacFileSystem:
+    """A world with several persisted frozen segments, so the next
+    reindex compacts (merges and deletes old records) inside its intent."""
+    hac = build_seal_world(trace=trace)
+    for i in range(3):
+        hac.clock.tick()
+        hac.write_file(f"/docs/seg{i}.txt", b"fingerprint round %d\n" % i)
+        hac.maintenance.drain()
+    assert len(_seg_keys(hac.fs.device)) >= 2, "no segments to compact"
+    return hac
+
+
+def _mutate_compact(hac):
+    hac.clock.tick()
+    hac.write_file("/docs/zeta.txt", b"fingerprint zeta\n")
+    hac.reindex()
+
+
+def test_crash_sweep_compact_intent():
+    """Crash at every device write (and delete — deletions consume write
+    indexes too) inside the reindex that compacts: old segment records
+    must survive or the merge must land, never half of each."""
+    dry = build_compact_world()
+    start = dry.fs.device.record_write_index
+    _mutate_compact(dry)
+    n_writes = dry.fs.device.record_write_index - start
+    # compaction folded the frozen list down to one record
+    assert len(_seg_keys(dry.fs.device)) == 1
+    rollbacks_seen = 0
+    for offset in range(n_writes):
+        hac = build_compact_world()
+        dev = hac.fs.device
+        dev.set_fault_plan(
+            FaultPlan(crash_at=dev.record_write_index + offset))
+        with pytest.raises(DeviceCrashed):
+            _mutate_compact(hac)
+        restored = HacFileSystem.restore(hac.fs)
+        errors = [f for f in restored.fsck() if f.severity == "error"]
+        assert errors == [], (offset, [str(f) for f in errors])
+        _assert_segment_list_consistent(restored, offset)
+        rollbacks_seen += len(restored.last_recovery.rolled_back)
+        # whatever the crash point, the reopened world answers current
+        assert "zeta.txt" in fp_link_names(restored), offset
+    assert rollbacks_seen > 0
+
+
+def test_orphan_segment_record_is_an_fsck_error_and_repairable(populated):
+    """A ``seg:`` record the manifest does not name (what an un-healed
+    crashed seal would leave) is flagged, and ``repair`` drops it."""
+    from repro.util import serialization
+
+    dev = populated.fs.device
+    dev.write_record("seg:zz9999", serialization.dumps(["bogus"]))
+    findings = [f for f in populated.fsck()
+                if f.kind == "orphan-segment" and f.severity == "error"]
+    assert findings and findings[0].path == "seg:zz9999"
+    populated.fsck(repair=True)
+    assert "seg:zz9999" not in dev.record_keys()
+    assert not [f for f in populated.fsck()
+                if f.kind == "orphan-segment"]
+
+
+def test_missing_segment_record_is_an_fsck_error(populated):
+    """A manifest entry whose record vanished is unrecoverable state —
+    an error finding, not a silent rebuild."""
+    populated.reindex()  # guarantees a manifest + at least one segment
+    dev = populated.fs.device
+    key = sorted(_seg_keys(dev))[0]
+    dev.delete_record(key)
+    findings = [f for f in populated.fsck()
+                if f.kind == "missing-segment" and f.severity == "error"]
+    assert findings and findings[0].path == key

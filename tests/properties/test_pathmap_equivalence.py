@@ -1,0 +1,190 @@
+"""Property: the path map is observationally identical to pure walking.
+
+Folding the tree into a map (DESIGN.md §3i) accelerates ``namei``; it
+must never change what any call returns.  Two twin worlds — one with the
+map, one walk-only — run the same seeded mix of mkdir/rename/rmdir/
+write/unlink/stat/listdir/read/ssync/smkdir ops with identical guards,
+and every observation along the way (stat shapes, listings, file bytes,
+query answers) plus the final canonical state digest must be equal.  A
+crash tail arms a device fault mid-``smkdir`` and requires both worlds
+to recover to the same digest, proving the map stays coherent through
+journal rollback and tree undo (recovery mutates the tree through the
+same invalidating operations).
+
+``PATHMAP_SEED`` shifts the fuzz seeds (CI matrix).
+"""
+
+import os
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cba.queryparser import parse_query
+from repro.chaos.invariants import state_digest
+from repro.core.hacfs import HacFileSystem
+from repro.errors import DeviceCrashed
+from repro.shell.session import HacShell
+from repro.util.clock import VirtualClock
+from repro.util.stats import Counters
+from repro.vfs.blockdev import FaultPlan
+from repro.vfs.filesystem import FileSystem
+
+BASE_SEED = int(os.environ.get("PATHMAP_SEED", "0"))
+
+#: candidate directories, parents before children so mkdir can build them
+DIRS = ["/t/a", "/t/b", "/t/c", "/t/a/x", "/t/a/y", "/t/b/z"]
+FILES = [f"f{i}.txt" for i in range(6)]
+WORDS = ["fingerprint", "banana", "ridge", "recipe", "lunch", "minutiae"]
+QUERIES = ["fingerprint", "ridge AND NOT banana", "recipe OR lunch"]
+
+
+def build_world(path_map: bool) -> HacFileSystem:
+    clock = VirtualClock()
+    counters = Counters()
+    fs = FileSystem(name="hac", clock=clock, counters=counters,
+                    fsid="hac#pmeq", path_map=path_map)
+    hac = HacFileSystem(fs=fs, clock=clock, counters=counters)
+    hac.makedirs("/t")
+    hac.write_file("/t/seed.txt", b"fingerprint ridge baseline\n")
+    hac.clock.tick()
+    hac.ssync("/")
+    hac.smkdir("/fp", "fingerprint")
+    return hac
+
+
+def op_script(seed: int, n_ops: int = 120):
+    rng = random.Random(seed)
+    ops = []
+    paths = DIRS + ["/t"]
+    for _ in range(n_ops):
+        r = rng.random()
+        if r < 0.12:
+            ops.append(("mkdir", rng.choice(DIRS)))
+        elif r < 0.30:
+            text = " ".join(rng.choices(WORDS, k=rng.randint(2, 5))) + "\n"
+            ops.append(("write", rng.choice(paths), rng.choice(FILES), text))
+        elif r < 0.42:
+            ops.append(("mvdir", rng.choice(DIRS), rng.choice(DIRS)))
+        elif r < 0.52:
+            ops.append(("mvfile", rng.choice(paths), rng.choice(FILES),
+                        rng.choice(paths), rng.choice(FILES)))
+        elif r < 0.58:
+            ops.append(("rmdir", rng.choice(DIRS)))
+        elif r < 0.64:
+            ops.append(("rm", rng.choice(paths), rng.choice(FILES)))
+        elif r < 0.78:
+            ops.append(("stat", rng.choice(paths), rng.choice(FILES)))
+        elif r < 0.86:
+            ops.append(("listdir", rng.choice(paths)))
+        elif r < 0.92:
+            ops.append(("query", rng.choice(QUERIES)))
+        else:
+            ops.append(("ssync",))
+    ops.append(("ssync",))
+    ops.append(("query", QUERIES[0]))
+    return ops
+
+
+def apply_op(hac: HacFileSystem, op):
+    """Run one scripted op; guards depend only on tree state, which the
+    twins share, so no-ops line up too.  Returns the observation (or
+    None for mutators)."""
+    kind = op[0]
+    if kind == "mkdir":
+        path = op[1]
+        parent = path.rsplit("/", 1)[0] or "/"
+        if not hac.exists(path) and hac.isdir(parent):
+            hac.mkdir(path)
+    elif kind == "write":
+        if hac.isdir(op[1]) and not hac.isdir(f"{op[1]}/{op[2]}"):
+            hac.write_file(f"{op[1]}/{op[2]}", op[3].encode())
+            hac.clock.tick()
+    elif kind == "mvdir":
+        src, dst = op[1], op[2]
+        dparent = dst.rsplit("/", 1)[0] or "/"
+        if (src != dst and hac.isdir(src) and not hac.exists(dst)
+                and hac.isdir(dparent)
+                and not dst.startswith(src + "/")
+                and not dparent.startswith(src)):
+            hac.rename(src, dst)
+    elif kind == "mvfile":
+        src, dst = f"{op[1]}/{op[2]}", f"{op[3]}/{op[4]}"
+        if (src != dst and hac.isfile(src) and not hac.exists(dst)
+                and hac.isdir(op[3])):
+            hac.rename(src, dst)
+    elif kind == "rmdir":
+        path = op[1]
+        if hac.isdir(path) and not hac.listdir(path):
+            hac.rmdir(path)
+    elif kind == "rm":
+        path = f"{op[1]}/{op[2]}"
+        if hac.isfile(path):
+            hac.unlink(path)
+    elif kind == "stat":
+        path = f"{op[1]}/{op[2]}"
+        if hac.isfile(path):
+            return ("file", hac.read_file(path))
+        return ("nofile", hac.exists(path))
+    elif kind == "listdir":
+        if hac.isdir(op[1]):
+            return sorted(hac.listdir(op[1]))
+        return None
+    elif kind == "query":
+        ast = parse_query(op[1], resolve_dir=hac.dirmap.uid_of)
+        return hac.engine.search(ast).to_bytes()
+    elif kind == "ssync":
+        hac.clock.tick()
+        hac.ssync("/")
+    return None
+
+
+def as_world(hac: HacFileSystem) -> SimpleNamespace:
+    return SimpleNamespace(hac=hac, shell=HacShell(hac))
+
+
+@pytest.mark.parametrize("seed",
+                         [BASE_SEED, BASE_SEED + 1, BASE_SEED + 2])
+def test_map_world_is_bit_identical_to_walk_world(seed):
+    mapped, walked = build_world(True), build_world(False)
+    for op in op_script(seed):
+        a = apply_op(mapped, op)
+        b = apply_op(walked, op)
+        assert a == b, (seed, op)
+
+    assert state_digest(as_world(mapped), queries=QUERIES) == \
+        state_digest(as_world(walked), queries=QUERIES), seed
+
+    # the map actually served the hot path, and coherence events fired
+    c, w = mapped.counters, walked.counters
+    assert c.get("pathmap.hit") > 0, seed
+    assert c.get("pathmap.invalidated") > 0, seed
+    assert w.get("pathmap.hit") == w.get("pathmap.insert") == 0, seed
+    # folding the tree into the map must shed walk steps, not add them
+    assert c.get("vfs.walk_steps") < w.get("vfs.walk_steps"), seed
+
+
+@pytest.mark.parametrize("seed", [BASE_SEED, BASE_SEED + 1])
+def test_crash_recovery_converges_identically(seed):
+    """Crash both twins inside a journaled ``smkdir``, restore, and
+    require the same canonical state digest — recovery's tree undo goes
+    through the same invalidating fs operations, so the map never
+    outlives a rolled-back resolution."""
+    mapped, walked = build_world(True), build_world(False)
+    for op in op_script(seed)[:60]:
+        apply_op(mapped, op)
+        apply_op(walked, op)
+    restored = []
+    for hac in (mapped, walked):
+        dev = hac.fs.device
+        dev.set_fault_plan(
+            FaultPlan(crash_at=dev.record_write_index + 2 + seed % 3))
+        with pytest.raises(DeviceCrashed):
+            hac.smkdir("/ridge", "ridge")
+            hac.ssync("/")
+        revived = HacFileSystem.restore(hac.fs)
+        assert [f for f in revived.fsck() if f.severity == "error"] == [], \
+            seed
+        restored.append(as_world(revived))
+    assert state_digest(restored[0], queries=QUERIES) == \
+        state_digest(restored[1], queries=QUERIES), seed
