@@ -16,7 +16,7 @@ so encountering one here is a programming error and raises.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.cba.queryast import (
     And,
@@ -28,9 +28,11 @@ from repro.cba.queryast import (
     Not,
     Or,
     Phrase,
+    ScopeTerm,
     Term,
 )
 from repro.cba.tokenizer import tokenize, tokenize_lines
+from repro.util import pathutil
 
 #: attribute pairs for documents without a transducer
 NO_PAIRS: FrozenSet[Tuple[str, str]] = frozenset()
@@ -87,7 +89,8 @@ def _has_approx(token_set: Set[str], word: str, k: int) -> bool:
 
 
 def _eval(node: Node, tokens: List[str], token_set: Set[str],
-          pairs: FrozenSet[Tuple[str, str]] = NO_PAIRS) -> bool:
+          pairs: FrozenSet[Tuple[str, str]] = NO_PAIRS,
+          path: Optional[str] = None) -> bool:
     if isinstance(node, MatchAll):
         return True
     if isinstance(node, Term):
@@ -98,26 +101,37 @@ def _eval(node: Node, tokens: List[str], token_set: Set[str],
         return _has_phrase(tokens, node.words)
     if isinstance(node, Approx):
         return _has_approx(token_set, node.word, node.k)
+    if isinstance(node, ScopeTerm):
+        # the path dimension, scan-and-filter style: the document's
+        # registered path must lie at-or-below the scope prefix
+        return path is not None and \
+            pathutil.is_ancestor(node.prefix, pathutil.canonical(path),
+                                 strict=False)
     if isinstance(node, And):
-        return all(_eval(c, tokens, token_set, pairs) for c in node.children)
+        return all(_eval(c, tokens, token_set, pairs, path)
+                   for c in node.children)
     if isinstance(node, Or):
-        return any(_eval(c, tokens, token_set, pairs) for c in node.children)
+        return any(_eval(c, tokens, token_set, pairs, path)
+                   for c in node.children)
     if isinstance(node, Not):
-        return not _eval(node.child, tokens, token_set, pairs)
+        return not _eval(node.child, tokens, token_set, pairs, path)
     if isinstance(node, DirRef):
         raise TypeError("DirRef reached the document scanner; "
                         "the evaluator must resolve directory references")
     raise TypeError(f"unknown query node: {type(node).__name__}")
 
 
-def matches(text: str, query: Node, pairs=NO_PAIRS) -> bool:
+def matches(text: str, query: Node, pairs=NO_PAIRS,
+            path: Optional[str] = None) -> bool:
     """Scan one document's text against a content-only query AST.
 
     :param pairs: the document's transduced attribute/value pairs, for
         :class:`FieldTerm` evaluation.
+    :param path: the document's registered path, for :class:`ScopeTerm`
+        evaluation; a document with no known path never matches a scope.
     """
     tokens = tokenize(text)
-    return _eval(query, tokens, set(tokens), frozenset(pairs))
+    return _eval(query, tokens, set(tokens), frozenset(pairs), path)
 
 
 def matching_lines(text: str, query: Node) -> List[str]:
@@ -150,4 +164,5 @@ def _positive_leaves(node: Node):
     elif isinstance(node, (And, Or)):
         for child in node.children:
             yield from _positive_leaves(child)
-    # Not and DirRef contribute nothing positive
+    # Not, DirRef, and ScopeTerm contribute nothing positive: a scope
+    # prefix names no content to point at on a line

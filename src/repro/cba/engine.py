@@ -20,9 +20,11 @@ from typing import Callable, Dict, Hashable, Iterable, List, NamedTuple, Optiona
 
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import NULL_TRACER
+from repro.util import pathutil
 from repro.util.bitmap import Bitmap
 from repro.util.stats import Counters
 from repro.cba import agrep, planner
+from repro.cba.cas import CASIndex
 from repro.cba.glimpse import DEFAULT_NUM_BLOCKS, GlimpseIndex
 from repro.cba.incremental import ReindexPlan, plan_reindex
 from repro.cba.queryast import (
@@ -32,8 +34,11 @@ from repro.cba.queryast import (
     Node,
     Not,
     Or,
+    ScopeTerm,
     Term,
     has_field_terms,
+    has_scope_terms,
+    required_scope_prefixes,
 )
 from repro.cba.segments import SegmentRow, SegmentStore
 from repro.cba.tokenizer import DEFAULT_STOPWORDS, index_terms
@@ -97,7 +102,8 @@ class CBAEngine:
                  cache_size: int = 64,
                  counters: Optional[Counters] = None,
                  fast_path: bool = True,
-                 segmented: bool = False):
+                 segmented: bool = False,
+                 cas: bool = True):
         self.loader = loader
         self.counters = counters if counters is not None else Counters()
         self._stats = self.counters.scoped("engine")
@@ -151,6 +157,14 @@ class CBAEngine:
         # mutations are persisted, published, and recovered
         self.segments: Optional[SegmentStore] = (
             SegmentStore(counters=self.counters) if segmented else None)
+        # Content-and-Structure index: the path dimension interleaved
+        # with the term dimension, maintained in lockstep with the
+        # registry.  An accelerator, never an authority — scope terms
+        # evaluate exactly with or without it (scope_docs falls back to
+        # a registry scan), which is what the CAS ablation contrasts.
+        self.cas: Optional[CASIndex] = (
+            CASIndex(counters=self.counters) if cas else None)
+        self.index.scope_counter = self.scope_count
 
     # ------------------------------------------------------------------
     # registry
@@ -232,6 +246,8 @@ class CBAEngine:
         grew = self.index.add(doc_id, terms)
         self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
         self._by_key[key] = doc_id
+        if self.cas is not None:
+            self.cas.upsert(doc_id, path, terms)
         self._note_mutation(doc_id, grew)
         self._emit("index", doc_id, key, path, mtime, terms, text)
         self._stats.add("indexed")
@@ -245,6 +261,8 @@ class CBAEngine:
             raise KeyError(f"document not indexed: {key!r}")
         doc = self._docs.pop(doc_id)
         self.index.remove(doc_id)
+        if self.cas is not None:
+            self.cas.remove(doc_id)
         self._note_mutation(doc_id, grew=False)
         self._emit("remove", doc_id, key, doc.path, doc.mtime)
         self._stats.add("removed")
@@ -261,6 +279,8 @@ class CBAEngine:
         terms = self._terms_of(text, path)
         grew = self.index.update(doc_id, terms)
         self._docs[doc_id] = Document(doc_id, key, path, mtime, len(text))
+        if self.cas is not None:
+            self.cas.upsert(doc_id, path, terms)
         self._note_mutation(doc_id, grew)
         self._emit("update", doc_id, key, path, mtime, terms, text)
         self._stats.add("updated")
@@ -272,11 +292,43 @@ class CBAEngine:
         if doc_id is None:
             raise KeyError(f"document not indexed: {key!r}")
         self._docs[doc_id] = self._docs[doc_id]._replace(path=new_path)
-        # transduced pairs can depend on the path, so memoised verdicts for
-        # this doc may no longer hold even though its mtime is unchanged
+        if self.cas is not None:
+            self.cas.set_path(doc_id, new_path)
+        # transduced pairs and scope-term verdicts can depend on the path,
+        # so memoised verdicts for this doc — and cached results of
+        # scope-bearing queries — may no longer hold even though its
+        # mtime is unchanged
         self._purge_memo(doc_id)
+        self._purge_scope_cache()
         self._emit("rename", doc_id, key, new_path,
                    self._docs[doc_id].mtime)
+
+    def rebase_paths(self, old_prefix: str, new_prefix: str) -> int:
+        """Directory rename: re-root every registered path under
+        *old_prefix* in one pass — the same one-pass rebase the path map
+        performs — and rebase the CAS index's prefix keys alongside.
+        Contents are untouched: no loader read, no retokenisation, just
+        registry path rewrites, per-doc rename emission (so segments and
+        replicas follow), and scope-sensitive cache eviction.  Returns
+        documents moved.
+        """
+        old_prefix = pathutil.normalize(old_prefix)
+        new_prefix = pathutil.normalize(new_prefix)
+        moved = 0
+        for doc_id, doc in list(self._docs.items()):
+            path = pathutil.canonical(doc.path)
+            if pathutil.is_ancestor(old_prefix, path, strict=False):
+                new_path = pathutil.rebase(path, old_prefix, new_prefix)
+                self._docs[doc_id] = doc._replace(path=new_path)
+                self._purge_memo(doc_id)
+                self._emit("rename", doc_id, doc.key, new_path, doc.mtime)
+                moved += 1
+        if self.cas is not None:
+            self.cas.rebase_prefix(old_prefix, new_prefix)
+        if moved:
+            self._purge_scope_cache()
+            self._stats.add("paths_rebased", moved)
+        return moved
 
     def reindex(self, current: Iterable[Tuple[Hashable, str, float]],
                 previous: Optional[Dict[Hashable, float]] = None) -> ReindexPlan:
@@ -360,6 +412,16 @@ class CBAEngine:
         if dropped:
             self._memo_entries -= len(dropped)
 
+    def _purge_scope_cache(self) -> None:
+        """Evict cached results of scope-bearing queries: a path move
+        changes their answers without touching any block's postings, so
+        the block-exact invalidation in :meth:`_note_mutation` cannot
+        see it."""
+        if not self._cache:
+            return
+        for key in [k for k in self._cache if has_scope_terms(k[0])]:
+            del self._cache[key]
+
     def _memoize(self, doc_id: int, query: Node, mtime: float,
                  verdict: bool) -> None:
         if self._memo_entries >= MEMO_CAPACITY:
@@ -381,6 +443,44 @@ class CBAEngine:
         self._cache.clear()
         self._verify_memo.clear()
         self._memo_entries = 0
+
+    # -- the path dimension (CAS) -------------------------------------------
+
+    def scope_docs(self, prefix: str) -> Bitmap:
+        """Exact set of indexed documents whose registered path lies
+        at-or-below *prefix*.  One CAS probe when the index is attached;
+        an exact registry scan otherwise — identical answers either way
+        (the registry is the authority on paths), different work.
+        """
+        if self.cas is not None:
+            self._stats.add("cas_scope_probes")
+            return self.cas.docs_under(prefix)
+        self._stats.add("scope_registry_scans")
+        out = Bitmap()
+        for doc_id, doc in self._docs.items():
+            if pathutil.is_ancestor(prefix, pathutil.canonical(doc.path),
+                                    strict=False):
+                out.add(doc_id)
+        return out
+
+    def scope_count(self, prefix: str) -> int:
+        """Path-dimension selectivity for the planner (exact)."""
+        return len(self.scope_docs(prefix))
+
+    def rebuild_cas(self) -> None:
+        """Repopulate the CAS index from the registry and the block
+        index's removal map — zero loader reads, zero tokenisations.
+        Restore paths (from_obj, segment folds, replica hydration) land
+        here because they bypass the per-mutation funnels."""
+        if self.cas is None:
+            return
+        self.cas.clear()
+        lexicon = self.index.lexicon
+        for doc_id in sorted(self._docs):
+            doc = self._docs[doc_id]
+            terms = [lexicon.term(tid)
+                     for tid in self.index._doc_terms.get(doc_id, ())]
+            self.cas.upsert(doc_id, doc.path, terms)
 
     # -- postings fast path -------------------------------------------------
 
@@ -409,6 +509,10 @@ class CBAEngine:
             return conj or self._indexable(node.word)
         if isinstance(node, FieldTerm):
             return True
+        if isinstance(node, ScopeTerm):
+            # the registry (via CAS or a scan) answers the path dimension
+            # exactly in any position — scope terms never force a scan
+            return True
         if isinstance(node, MatchAll):
             return True
         if isinstance(node, And):
@@ -427,11 +531,24 @@ class CBAEngine:
             return self.index.docs_with_term(node.word)
         if isinstance(node, FieldTerm):
             return self.index.docs_with_term(f"{node.field}:{node.value}")
+        if isinstance(node, ScopeTerm):
+            return self.scope_docs(node.prefix)
         if isinstance(node, MatchAll):
             return self.index.all_docs()
         if isinstance(node, And):
             out = None
-            for child in node.children:
+            children = list(node.children)
+            if self.cas is not None and len(children) >= 2 and \
+                    isinstance(children[0], ScopeTerm) and \
+                    isinstance(children[1], Term):
+                # the planner costed the path dimension cheapest, so
+                # answer scope+term with one interleaved CAS probe —
+                # both dimensions pruned together — instead of two
+                # posting lookups and an intersection
+                self._stats.add("cas_interleaved_probes")
+                out = self.cas.probe(children[0].prefix, children[1].word)
+                children = children[2:]
+            for child in children:
                 docs = self._postings_eval(child)
                 out = docs if out is None else out & docs
                 if not out:
@@ -477,6 +594,15 @@ class CBAEngine:
             if isinstance(query, MatchAll):
                 span.set(mode="matchall", hits=len(universe))
                 return universe.copy()
+            if self.fast_path and planner.provably_empty(
+                    query, self.index.lexicon.df, self._indexable,
+                    self.scope_count):
+                # a required conjunct has zero postings (or the scope
+                # prefix covers nothing): skip candidate blocks, the
+                # postings walk, and the scan fallback outright
+                self._stats.add("planner_empty_shortcircuit")
+                span.set(mode="empty", hits=0)
+                return Bitmap()
             cache_key = None
             if self._cache_capacity > 0:
                 cache_key = (query, None if scope is None else scope.to_bytes())
@@ -499,6 +625,7 @@ class CBAEngine:
                 self._stats.add("docs_scan_avoided", len(candidates))
                 span.set(mode="postings")
             else:
+                candidates = self._prune_by_scope(query, candidates)
                 with self.tracer.span("cba.scan", candidates=len(candidates)):
                     result = self._scan(query, candidates)
                 span.set(mode="scan")
@@ -544,6 +671,7 @@ class CBAEngine:
                 self._stats.add("docs_scan_avoided", len(candidates))
                 span.set(mode="postings")
             else:
+                candidates = self._prune_by_scope(query, candidates)
                 with self.tracer.span("cba.scan", candidates=len(candidates)):
                     result = self._scan(query, candidates)
                 span.set(mode="scan")
@@ -551,6 +679,21 @@ class CBAEngine:
             span.set(blocks=len(blocks), candidates=len(candidates),
                      hits=len(result))
             return result
+
+    def _prune_by_scope(self, query: Node, candidates: Bitmap) -> Bitmap:
+        """Shrink scan candidates by the query's *required* scope
+        prefixes through the CAS index.  Sound because every match must
+        lie under each required prefix, and the scanner applies the same
+        registry-path predicate to whatever survives; without a CAS
+        index the scanner filters alone (the scan-and-filter baseline
+        the CAS ablation contrasts)."""
+        if self.cas is None or not candidates:
+            return candidates
+        for prefix in required_scope_prefixes(query):
+            candidates &= self.cas.docs_under(prefix)
+            if not candidates:
+                break
+        return candidates
 
     def _scan(self, query: Node, candidates: Bitmap) -> Bitmap:
         """Verify *candidates* against *query*, memo-skipping unchanged docs."""
@@ -573,7 +716,7 @@ class CBAEngine:
             self._stats.add("bytes_scanned", len(text))
             pairs = (frozenset(self.transducer(doc.path, text))
                      if needs_pairs else agrep.NO_PAIRS)
-            verdict = agrep.matches(text, query, pairs)
+            verdict = agrep.matches(text, query, pairs, path=doc.path)
             if use_memo:
                 self._memoize(doc_id, query, doc.mtime, verdict)
             if verdict:
@@ -597,7 +740,7 @@ class CBAEngine:
             text = self.loader(doc.key)
             pairs = (frozenset(self.transducer(doc.path, text))
                      if needs_pairs else agrep.NO_PAIRS)
-            if agrep.matches(text, query, pairs):
+            if agrep.matches(text, query, pairs, path=doc.path):
                 result.add(doc_id)
         return result
 
@@ -810,18 +953,22 @@ class CBAEngine:
                  counters: Optional[Counters] = None,
                  fast_path: bool = True,
                  cache_size: int = 64,
-                 segmented: bool = False) -> "CBAEngine":
+                 segmented: bool = False,
+                 cas: bool = True) -> "CBAEngine":
         """Rebuild an engine from :meth:`to_obj` output without re-reading
         or re-tokenising a single document.  With *segmented*, a fresh
         store is attached and seeded with a base segment covering the
         restored documents, so later compactions and segment restores
-        have an upsert row for every live document."""
+        have an upsert row for every live document.  The CAS index is
+        derived state (registry paths x index terms) and is rebuilt, not
+        persisted."""
         engine = cls(loader=loader, transducer=transducer, counters=counters,
                      fast_path=fast_path, cache_size=cache_size,
-                     segmented=segmented)
+                     segmented=segmented, cas=cas)
         engine.index = GlimpseIndex.from_obj(obj["index"],
                                              counters=engine.counters,
                                              track_doc_postings=fast_path)
+        engine.index.scope_counter = engine.scope_count
         for doc_id, raw_key, path, mtime, size in obj["docs"]:
             key = (raw_key[0], raw_key[1])
             engine._docs[doc_id] = Document(doc_id, key, path, mtime, size)
@@ -829,6 +976,7 @@ class CBAEngine:
         engine._next_doc_id = obj["next"]
         if engine.segments is not None:
             engine.segments.seed_base(engine.doc_rows())
+        engine.rebuild_cas()
         engine._stats.add("restored_docs", len(engine._docs))
         return engine
 
@@ -854,7 +1002,8 @@ class CBAEngine:
                       counters: Optional[Counters] = None,
                       fast_path: bool = True,
                       cache_size: int = 64,
-                      num_blocks: int = DEFAULT_NUM_BLOCKS) -> "CBAEngine":
+                      num_blocks: int = DEFAULT_NUM_BLOCKS,
+                      cas: bool = True) -> "CBAEngine":
         """Rebuild an engine by folding *store*'s frozen segments —
         reindex-as-merge.  Each document's newest upsert row carries the
         term set the original engine computed, so the rebuild is pure
@@ -863,7 +1012,7 @@ class CBAEngine:
         engine = cls(loader=loader, num_blocks=num_blocks,
                      transducer=transducer, counters=counters,
                      fast_path=fast_path, cache_size=cache_size,
-                     segmented=True)
+                     segmented=True, cas=cas)
         engine.segments = store
         rows = store.live_rows()
         for key, row in sorted(rows.items(), key=lambda kv: kv[1].doc_id):
@@ -873,6 +1022,9 @@ class CBAEngine:
             engine._by_key[key] = row.doc_id
             engine._next_doc_id = max(engine._next_doc_id, row.doc_id + 1)
         engine._next_doc_id = max(engine._next_doc_id, next_doc_id)
+        # the segment rows carry path + terms, so the CAS rebuild is the
+        # same zero-tokenisation fold the block index just did
+        engine.rebuild_cas()
         engine._stats.add("restored_docs", len(engine._docs))
         engine._stats.add("merged_rows", len(rows))
         return engine

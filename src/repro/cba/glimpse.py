@@ -35,6 +35,7 @@ from repro.cba.queryast import (
     Not,
     Or,
     Phrase,
+    ScopeTerm,
     Term,
 )
 
@@ -86,22 +87,31 @@ def eval_blocks(node: Node, term_blocks: Callable[[str], Bitmap],
         # at block granularity NOT cannot prune: a block containing the
         # negated word may still hold documents without it
         return all_blocks.copy()
+    if isinstance(node, ScopeTerm):
+        # blocks are doc-id-modular and path-blind, so the path dimension
+        # cannot prune here; the CAS index prunes at doc granularity
+        return all_blocks.copy()
     if isinstance(node, DirRef):
         raise TypeError("DirRef reached the block index; the evaluator "
                         "must resolve directory references first")
     raise TypeError(f"unknown query node: {type(node).__name__}")
 
 
-def estimate_docs(node: Node, df: Callable[[str], int], total: int) -> int:
+def estimate_docs(node: Node, df: Callable[[str], int], total: int,
+                  scope_count: Optional[Callable[[str], int]] = None) -> int:
     """Upper-bound-ish estimate of matching documents for *node*.
 
     *df(term)* is the exact document frequency, *total* the corpus size.
-    Everything the index cannot bound (Approx, Not, MatchAll, DirRef)
-    pessimistically estimates the whole corpus.  Module-level so the
-    cluster coordinator can run the identical estimator over summed
-    per-shard frequencies — document frequencies and corpus sizes are
-    additive over a partition, so the coordinator's estimates (and hence
-    the planner's stable sort) match the monolithic engine exactly.
+    *scope_count(prefix)* is the exact count of indexed documents under a
+    path prefix (the CAS index's path-dimension selectivity); without it
+    scope terms pessimistically estimate the whole corpus.  Everything
+    else the index cannot bound (Approx, Not, MatchAll, DirRef)
+    estimates the whole corpus too.  Module-level so the cluster
+    coordinator can run the identical estimator over summed per-shard
+    frequencies — document frequencies, corpus sizes, and per-shard
+    scope counts are additive over a partition, so the coordinator's
+    estimates (and hence the planner's stable sort) match the monolithic
+    engine exactly.
     """
     if isinstance(node, Term):
         return df(node.word)
@@ -111,12 +121,15 @@ def estimate_docs(node: Node, df: Callable[[str], int], total: int) -> int:
         if not node.words:
             return total
         return min(df(w) for w in node.words)
+    if isinstance(node, ScopeTerm):
+        return total if scope_count is None else scope_count(node.prefix)
     if isinstance(node, And):
         if not node.children:
             return total
-        return min(estimate_docs(c, df, total) for c in node.children)
+        return min(estimate_docs(c, df, total, scope_count)
+                   for c in node.children)
     if isinstance(node, Or):
-        return min(total, sum(estimate_docs(c, df, total)
+        return min(total, sum(estimate_docs(c, df, total, scope_count)
                               for c in node.children))
     return total
 
@@ -149,6 +162,10 @@ class GlimpseIndex:
         self._doc_postings: Dict[int, Bitmap] = {}
         self._all_docs = Bitmap()
         self._all_blocks = Bitmap()
+        #: exact count of indexed docs under a path prefix — wired by the
+        #: owning engine (CAS index or registry scan) so scope terms get
+        #: real selectivity in :meth:`estimate_docs`
+        self.scope_counter: Optional[Callable[[str], int]] = None
 
     # ------------------------------------------------------------------
     # maintenance
@@ -338,7 +355,8 @@ class GlimpseIndex:
         (see module-level :func:`estimate_docs`).  Only used for ordering
         conjunctions — never for answering queries — so coarseness is fine.
         """
-        return estimate_docs(node, self.lexicon.df, len(self._doc_terms))
+        return estimate_docs(node, self.lexicon.df, len(self._doc_terms),
+                             self.scope_counter)
 
     # ------------------------------------------------------------------
     # reporting

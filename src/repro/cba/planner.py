@@ -25,9 +25,10 @@ lookup, cheaper than any index probe.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from repro.cba.queryast import And, DirRef, MatchAll, Node, Not, Or
+from repro.cba.queryast import (And, DirRef, FieldTerm, MatchAll, Node, Not,
+                                Or, Phrase, ScopeTerm, Term)
 
 
 def normalize(node: Node) -> Node:
@@ -94,6 +95,49 @@ def order_children(children: Sequence[Node], index,
 
 def _estimate(node: Node, index) -> int:
     return index.estimate_docs(node)
+
+
+def provably_empty(node: Node, df: Callable[[str], int],
+                   indexable: Callable[[str], bool],
+                   scope_count: Optional[Callable[[str], int]] = None) -> bool:
+    """True when *node* provably matches **no** document, so evaluation
+    (candidate blocks, probe RPCs, the scan fallback) can be skipped
+    entirely and an empty result returned.
+
+    The proof obligations are conservative — only leaves whose index
+    bookkeeping is *exact* participate:
+
+    * an **indexable** term (long enough, not a stopword) with zero
+      document frequency cannot match anywhere (non-indexable terms are
+      invisible to the lexicon, so a zero df proves nothing);
+    * a field term with a zero-df pair token — transduced pairs are
+      always indexed under their joined token;
+    * a phrase containing any indexable zero-df word;
+    * a scope prefix covering zero indexed documents, when the caller
+      supplies exact scope counts;
+    * an ``And`` with any provably-empty required conjunct, an ``Or``
+      whose branches are all provably empty.
+
+    ``Not``/``Approx``/``MatchAll``/``DirRef`` prove nothing.  Document
+    frequencies and scope counts are additive over a shard partition, so
+    the cluster coordinator reaches the identical verdict as the
+    monolith from its summed statistics.
+    """
+    if isinstance(node, Term):
+        return indexable(node.word) and df(node.word) == 0
+    if isinstance(node, FieldTerm):
+        return df(f"{node.field}:{node.value}") == 0
+    if isinstance(node, Phrase):
+        return any(indexable(w) and df(w) == 0 for w in node.words)
+    if isinstance(node, ScopeTerm):
+        return scope_count is not None and scope_count(node.prefix) == 0
+    if isinstance(node, And):
+        return any(provably_empty(c, df, indexable, scope_count)
+                   for c in node.children)
+    if isinstance(node, Or):
+        return all(provably_empty(c, df, indexable, scope_count)
+                   for c in node.children)
+    return False
 
 
 def plan(node: Node, index, stats=None) -> Node:

@@ -179,6 +179,36 @@ class Phrase(Node):
         return (self.words,)
 
 
+class ScopeTerm(Node):
+    """The document's registered path must lie at-or-below a prefix
+    (``scope:/projects/mail``) — the path dimension as a first-class
+    query predicate, answered by the CAS index when one is attached.
+
+    Unlike :class:`DirRef` (which names a *directory's stored result*),
+    a scope term names a *subtree of the hierarchy*: it matches every
+    indexed document whose path is under the prefix, independent of any
+    semantic directory's query.
+    """
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix: str):
+        from repro.util import pathutil
+        object.__setattr__(self, "prefix", pathutil.normalize(prefix))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ScopeTerm is immutable")
+
+    def to_obj(self):
+        return {"op": "scope", "prefix": self.prefix}
+
+    def to_text(self, path_of_uid=None) -> str:
+        return f"scope:{self.prefix}"
+
+    def _key(self):
+        return (self.prefix,)
+
+
 class DirRef(Node):
     """The stored query-result of another directory, by UID."""
 
@@ -307,6 +337,8 @@ def from_obj(obj) -> Node:
         return Approx(obj["word"], obj["k"])
     if op == "phrase":
         return Phrase(obj["words"])
+    if op == "scope":
+        return ScopeTerm(obj["prefix"])
     if op == "dir":
         return DirRef(obj["uid"])
     if op == "and":
@@ -327,6 +359,30 @@ def has_field_terms(node: Node) -> bool:
     if isinstance(node, Not):
         return has_field_terms(node.child)
     return False
+
+
+def has_scope_terms(node: Node) -> bool:
+    """True when the subtree contains any subtree-scope predicate."""
+    if isinstance(node, ScopeTerm):
+        return True
+    if isinstance(node, _Compound):
+        return any(has_scope_terms(c) for c in node.children)
+    if isinstance(node, Not):
+        return has_scope_terms(node.child)
+    return False
+
+
+def required_scope_prefixes(node: Node) -> List[str]:
+    """Scope prefixes every match must satisfy: scope terms sitting on
+    the top-level ``And`` spine (or the node itself).  Terms under
+    ``Or``/``Not`` are not required and are excluded — the CAS index may
+    prune scan candidates only by the required ones.
+    """
+    if isinstance(node, ScopeTerm):
+        return [node.prefix]
+    if isinstance(node, And):
+        return [c.prefix for c in node.children if isinstance(c, ScopeTerm)]
+    return []
 
 
 def conjoin(left: Optional[Node], right: Optional[Node]) -> Node:
@@ -355,7 +411,9 @@ def content_projection(node: Node) -> Node:
     simplified; a reference under NOT also projects to MatchAll (no remote
     restriction) — the local evaluator still applies the reference exactly.
     """
-    if isinstance(node, DirRef):
+    if isinstance(node, (DirRef, ScopeTerm)):
+        # scope prefixes, like directory references, are meaningless to a
+        # remote name space's flat content index
         return MatchAll()
     if isinstance(node, And):
         kept = [content_projection(c) for c in node.children]

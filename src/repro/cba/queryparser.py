@@ -6,9 +6,12 @@ Grammar (case-insensitive keywords, implicit AND by juxtaposition)::
     or_expr := and_expr ( OR and_expr )*
     and_expr:= unary ( [AND] unary )*        # juxtaposition means AND
     unary   := NOT unary | primary
-    primary := '(' query ')' | '"' words '"' | PATH | WORD['~'K] | '*'
+    primary := '(' query ')' | '"' words '"' | SCOPE | PATH | WORD['~'K] | '*'
 
-``PATH`` is any token starting with ``/`` — a directory reference.  The
+``SCOPE`` is ``scope:`` followed immediately by an absolute path — a
+subtree-scope predicate matching every indexed document under that
+prefix (answered by the CAS index).  ``PATH`` is any token starting
+with ``/`` — a directory reference.  The
 parser needs a ``resolve_dir`` callback mapping a path to its UID (HAC
 passes its global directory map); parsing a path that resolves to no known
 directory raises :class:`repro.errors.UnknownDirectoryReference`.
@@ -18,6 +21,7 @@ Examples::
     fingerprint AND NOT murder
     "image processing" OR (fbi crime~1)
     fingerprint AND /projects/fbi
+    scope:/projects/mail AND fingerprint
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from repro.cba.queryast import (
     Not,
     Or,
     Phrase,
+    ScopeTerm,
     Term,
 )
 from repro.cba.tokenizer import tokenize
@@ -47,6 +52,7 @@ _TOKEN_RE = re.compile(
   | (?P<rparen>\))
   | (?P<phrase>"[^"]*")
   | (?P<star>\*)
+  | (?P<scope>[Ss][Cc][Oo][Pp][Ee]:/[^\s()"]*)
   | (?P<path>/[^\s()"]*)
   | (?P<pair>[A-Za-z0-9_]+:[A-Za-z0-9_]+)
   | (?P<word>[A-Za-z0-9_]+(?:~[0-9]+)?)
@@ -132,8 +138,8 @@ class _Parser:
                 break
         return operands[0] if len(operands) == 1 else Or(operands)
 
-    _PRIMARY_STARTERS = {"lparen", "phrase", "path", "word", "pair",
-                         "star", "not"}
+    _PRIMARY_STARTERS = {"lparen", "phrase", "scope", "path", "word",
+                         "pair", "star", "not"}
 
     def and_expr(self) -> Node:
         operands = [self.unary()]
@@ -176,6 +182,10 @@ class _Parser:
         if tok.kind == "star":
             self.advance()
             return MatchAll()
+        if tok.kind == "scope":
+            self.advance()
+            prefix = tok.text.partition(":")[2].rstrip("/") or "/"
+            return ScopeTerm(prefix)
         if tok.kind == "path":
             self.advance()
             if self.resolve_dir is None:

@@ -74,7 +74,8 @@ class ReadReplica:
                                 transducer=primary.transducer,
                                 cache_size=0,  # snapshots are short-lived
                                 counters=self.counters,
-                                fast_path=primary.fast_path)
+                                fast_path=primary.fast_path,
+                                cas=primary.cas is not None)
         #: last published version this replica has applied
         self.version = 0
         #: index into the primary's shared op log (ops before it are applied)
@@ -103,9 +104,13 @@ class ReadReplica:
         engine.index = GlimpseIndex.from_obj(
             primary.index.to_obj(), counters=self.counters,
             track_doc_postings=primary.fast_path)
+        engine.index.scope_counter = engine.scope_count
         engine._docs = dict(primary._docs)
         engine._by_key = dict(primary._by_key)
         engine._next_doc_id = primary._next_doc_id
+        # the CAS index is derived (registry x term sets); rebuild it
+        # from the copied state rather than shipping it
+        engine.rebuild_cas()
         self._texts = {doc.key: primary.loader(doc.key)
                        for doc in primary._docs.values()}
         self.version = version
@@ -130,6 +135,8 @@ class ReadReplica:
                     len(op.text or ""))
                 engine._by_key[op.key] = op.doc_id
                 engine._next_doc_id = max(engine._next_doc_id, op.doc_id + 1)
+                if engine.cas is not None:
+                    engine.cas.upsert(op.doc_id, op.path, op.terms)
                 engine._note_mutation(op.doc_id, grew)
                 self._texts[op.key] = op.text or ""
             elif op.kind == "update":
@@ -137,19 +144,26 @@ class ReadReplica:
                 engine._docs[op.doc_id] = Document(
                     op.doc_id, op.key, op.path, op.mtime,
                     len(op.text or ""))
+                if engine.cas is not None:
+                    engine.cas.upsert(op.doc_id, op.path, op.terms)
                 engine._note_mutation(op.doc_id, grew)
                 self._texts[op.key] = op.text or ""
             elif op.kind == "remove":
                 engine._by_key.pop(op.key, None)
                 engine._docs.pop(op.doc_id, None)
                 engine.index.remove(op.doc_id)
+                if engine.cas is not None:
+                    engine.cas.remove(op.doc_id)
                 engine._note_mutation(op.doc_id, grew=False)
                 self._texts.pop(op.key, None)
             elif op.kind == "rename":
                 doc = engine._docs.get(op.doc_id)
                 if doc is not None:
                     engine._docs[op.doc_id] = doc._replace(path=op.path)
+                    if engine.cas is not None:
+                        engine.cas.set_path(op.doc_id, op.path)
                     engine._purge_memo(op.doc_id)
+                    engine._purge_scope_cache()
             else:  # pragma: no cover - emission is closed over four kinds
                 raise ValueError(f"unknown index op kind: {op.kind!r}")
             applied += 1
@@ -185,6 +199,8 @@ class ReadReplica:
                     # retire the old incarnation before adding the new
                     engine._docs.pop(old_id, None)
                     engine.index.remove(old_id)
+                    if engine.cas is not None:
+                        engine.cas.remove(old_id)
                     engine._note_mutation(old_id, grew=False)
                 if row.doc_id in engine.index:
                     grew = engine.index.update(row.doc_id, row.terms)
@@ -195,6 +211,8 @@ class ReadReplica:
                 engine._by_key[key] = row.doc_id
                 engine._next_doc_id = max(engine._next_doc_id,
                                           row.doc_id + 1)
+                if engine.cas is not None:
+                    engine.cas.upsert(row.doc_id, row.path, row.terms)
                 engine._note_mutation(row.doc_id, grew)
                 self._texts[key] = row.text or ""
             elif row.kind == "remove":
@@ -202,6 +220,8 @@ class ReadReplica:
                 if old_id is not None:
                     engine._docs.pop(old_id, None)
                     engine.index.remove(old_id)
+                    if engine.cas is not None:
+                        engine.cas.remove(old_id)
                     engine._note_mutation(old_id, grew=False)
                 self._texts.pop(key, None)
             else:  # a rename whose upsert predates this window
@@ -209,7 +229,10 @@ class ReadReplica:
                 if doc_id is not None:
                     engine._docs[doc_id] = \
                         engine._docs[doc_id]._replace(path=row.path)
+                    if engine.cas is not None:
+                        engine.cas.set_path(doc_id, row.path)
                     engine._purge_memo(doc_id)
+                    engine._purge_scope_cache()
             applied += 1
         self.cursor = upto
         self.version = version
@@ -237,6 +260,12 @@ class ReadReplica:
 
     def estimate_docs(self, node) -> int:
         return self.engine.estimate_docs(node)
+
+    def scope_docs(self, prefix: str) -> Bitmap:
+        return self.engine.scope_docs(prefix)
+
+    def scope_count(self, prefix: str) -> int:
+        return self.engine.scope_count(prefix)
 
     def all_docs(self) -> Bitmap:
         return self.engine.all_docs()

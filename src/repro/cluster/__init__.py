@@ -51,7 +51,8 @@ class ClusterFactory:
                  retry_factory: Optional[Callable] = None,
                  breaker_factory: Optional[Callable] = None,
                  replicas_per_shard: int = 1,
-                 segmented: bool = False):
+                 segmented: bool = False,
+                 cas: bool = True):
         if shard_ids is None:
             shard_ids = [f"shard{i}" for i in range(shards)]
         self.shard_ids = list(shard_ids)
@@ -61,6 +62,7 @@ class ClusterFactory:
         self.breaker_factory = breaker_factory
         self.replicas_per_shard = replicas_per_shard
         self.segmented = segmented
+        self.cas = cas
 
     def __call__(self, loader, *, counters=None, clock=None, transducer=None,
                  num_blocks: int = DEFAULT_NUM_BLOCKS,
@@ -72,7 +74,7 @@ class ClusterFactory:
             retry_factory=self.retry_factory,
             breaker_factory=self.breaker_factory,
             replicas_per_shard=self.replicas_per_shard,
-            segmented=self.segmented)
+            segmented=self.segmented, cas=self.cas)
 
     def from_obj(self, obj, *, loader, counters=None, clock=None,
                  transducer=None, fast_path: bool = True
@@ -82,4 +84,4 @@ class ClusterFactory:
             fast_path=fast_path, clock=clock, latency=self.latency,
             seed=self.seed, retry_factory=self.retry_factory,
             breaker_factory=self.breaker_factory,
-            segmented=self.segmented)
+            segmented=self.segmented, cas=self.cas)

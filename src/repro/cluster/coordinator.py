@@ -51,6 +51,7 @@ from typing import (Callable, Dict, Hashable, Iterable, List, NamedTuple,
 from repro.errors import BackendUnavailable, ShardUnavailable
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import NULL_TRACER
+from repro.util import pathutil
 from repro.util.bitmap import Bitmap
 from repro.util.clock import VirtualClock
 from repro.util.stats import Counters
@@ -66,6 +67,7 @@ from repro.cba.queryast import (
     Not,
     Or,
     Phrase,
+    ScopeTerm,
     Term,
 )
 from repro.cba.tokenizer import DEFAULT_STOPWORDS
@@ -92,6 +94,10 @@ def _probe_terms(node: Node, out: Set[str]) -> None:
     elif isinstance(node, (And, Or)):
         for child in node.children:
             _probe_terms(child, out)
+    elif isinstance(node, ScopeTerm):
+        pass  # the path dimension has no term postings: blocks are
+        # path-blind, so a scope nominates every occupied block and the
+        # pruning happens per shard through each engine's CAS index
     elif isinstance(node, Not):
         _probe_terms(node.child, out)
     # Approx / MatchAll consult no term postings
@@ -113,8 +119,14 @@ class _ClusterSelectivity:
         return sum(shard.engine.index.lexicon.df(term)
                    for shard in self._cluster.shards.values())
 
+    def _scope_count(self, prefix: str) -> int:
+        # scope counts are additive over a partition, exactly like df
+        return sum(shard.engine.scope_count(prefix)
+                   for shard in self._cluster.shards.values())
+
     def estimate_docs(self, node: Node) -> int:
-        return estimate_docs(node, self._df, len(self._cluster))
+        return estimate_docs(node, self._df, len(self._cluster),
+                             self._scope_count)
 
 
 class _ViewSelectivity:
@@ -133,8 +145,13 @@ class _ViewSelectivity:
         return sum(replica.index.lexicon.df(term)
                    for replica in self._view.replicas.values())
 
+    def _scope_count(self, prefix: str) -> int:
+        return sum(replica.scope_count(prefix)
+                   for replica in self._view.replicas.values())
+
     def estimate_docs(self, node: Node) -> int:
-        return estimate_docs(node, self._df, len(self._view))
+        return estimate_docs(node, self._df, len(self._view),
+                             self._scope_count)
 
 
 class ClusterSnapshotView:
@@ -204,6 +221,12 @@ class ClusterSnapshotView:
             if isinstance(query, MatchAll):
                 span.set(mode="matchall", hits=len(universe))
                 return universe.copy()
+            if self.fast_path and planner.provably_empty(
+                    query, self.index._df, cluster._indexable,
+                    self.index._scope_count):
+                cluster._stats.add("planner_empty_shortcircuit")
+                span.set(mode="empty", hits=0)
+                return Bitmap()
 
             terms: Set[str] = set()
             _probe_terms(query, terms)
@@ -276,7 +299,8 @@ class ShardedSearchCluster:
                  breaker_factory: Optional[
                      Callable[[str], CircuitBreaker]] = None,
                  replicas_per_shard: int = 1,
-                 segmented: bool = False):
+                 segmented: bool = False,
+                 cas: bool = True):
         self.loader = loader
         self.counters = counters if counters is not None else Counters()
         self._stats = self.counters.scoped("cluster")
@@ -289,6 +313,8 @@ class ShardedSearchCluster:
         #: shard engines keep segmented (memtable + frozen segment)
         #: storage, so per-shard publishes hand replicas segment lists
         self.segmented = segmented
+        #: shard engines keep a CAS path dimension (subtree scope probes)
+        self._cas_enabled = cas
         self.latency = latency
         self.seed = seed
         self._retry_factory = retry_factory
@@ -325,7 +351,7 @@ class ShardedSearchCluster:
                            transducer=self.transducer,
                            cache_size=0,  # answers depend on shipped blocks
                            counters=self.counters, fast_path=self.fast_path,
-                           segmented=self.segmented)
+                           segmented=self.segmented, cas=self._cas_enabled)
         engine.tracer = self._tracer
         engine.metrics = self._metrics
         # a shard added mid-life starts at the cluster's published version,
@@ -486,6 +512,56 @@ class ShardedSearchCluster:
         self.shards[self._owners[doc_id]].engine.rename_document(key, new_path)
         self._docs[doc_id] = self._docs[doc_id]._replace(path=new_path)
 
+    def rebase_paths(self, old_prefix: str, new_prefix: str) -> int:
+        """Directory rename: the engine's one-pass path rebase, mirrored
+        into the authoritative registry and fanned out to every shard
+        (each shard rebases its own registry slice and CAS prefix keys).
+        Maintenance-side like all mutations — no RPC.  Returns documents
+        moved in the coordinator registry."""
+        old_prefix = pathutil.normalize(old_prefix)
+        new_prefix = pathutil.normalize(new_prefix)
+        moved = 0
+        for doc_id, doc in list(self._docs.items()):
+            if pathutil.is_ancestor(old_prefix, doc.path, strict=False):
+                self._docs[doc_id] = doc._replace(
+                    path=pathutil.rebase(doc.path, old_prefix, new_prefix))
+                moved += 1
+        for shard in self.shards.values():
+            shard.engine.rebase_paths(old_prefix, new_prefix)
+        if moved:
+            self._stats.add("paths_rebased", moved)
+        return moved
+
+    # ------------------------------------------------------------------
+    # the path dimension (per-shard CAS indexes, merged by global ids)
+    # ------------------------------------------------------------------
+
+    @property
+    def cas(self):
+        """Truthy when the shard engines keep a CAS path dimension.  The
+        coordinator holds no CAS index of its own: subtree probes scatter
+        to the shards and merge by union — shard answers are already
+        global doc ids, so the merge is exact."""
+        return True if self._cas_enabled else None
+
+    def _indexable(self, word: str) -> bool:
+        return len(word) >= self.min_term_length and word not in self.stopwords
+
+    def scope_docs(self, prefix: str) -> Bitmap:
+        """Global ids registered under *prefix*: union of per-shard
+        probes.  Read directly off the shard engines like the planner
+        statistics — scope resolution is maintenance-side, not a query
+        RPC, so it stays whole while shards are partitioned off."""
+        out = Bitmap()
+        for shard in self.shards.values():
+            out |= shard.engine.scope_docs(prefix)
+        return out
+
+    def scope_count(self, prefix: str) -> int:
+        """Documents under *prefix*, summed across shards (additive over
+        a partition, exactly like document frequency)."""
+        return self.index._scope_count(prefix)
+
     def reindex(self, current: Iterable[Tuple[Hashable, str, float]],
                 previous: Optional[Dict[Hashable, float]] = None) -> ReindexPlan:
         """Same contract as :meth:`CBAEngine.reindex`, routed per owner."""
@@ -552,6 +628,14 @@ class ShardedSearchCluster:
             if isinstance(query, MatchAll):
                 span.set(mode="matchall", hits=len(universe))
                 return universe.copy()
+            if self.fast_path and planner.provably_empty(
+                    query, self.index._df, self._indexable,
+                    self.index._scope_count):
+                # summed df / scope counts prove emptiness exactly as the
+                # monolith's lexicon would: skip both scatter phases
+                self._stats.add("planner_empty_shortcircuit")
+                span.set(mode="empty", hits=0)
+                return Bitmap()
 
             terms: Set[str] = set()
             _probe_terms(query, terms)
@@ -863,7 +947,8 @@ class ShardedSearchCluster:
                  retry_factory: Optional[Callable[[str], RetryPolicy]] = None,
                  breaker_factory: Optional[
                      Callable[[str], CircuitBreaker]] = None,
-                 segmented: bool = False
+                 segmented: bool = False,
+                 cas: bool = True
                  ) -> "ShardedSearchCluster":
         """Rebuild a cluster from :meth:`to_obj` output without re-reading
         or re-tokenising a single document."""
@@ -873,13 +958,14 @@ class ShardedSearchCluster:
                       transducer=transducer, counters=counters,
                       fast_path=fast_path, clock=clock, latency=latency,
                       seed=seed, retry_factory=retry_factory,
-                      breaker_factory=breaker_factory, segmented=segmented)
+                      breaker_factory=breaker_factory, segmented=segmented,
+                      cas=cas)
         for sid, shard in cluster.shards.items():
             engine = CBAEngine.from_obj(obj["shards"][sid], loader=loader,
                                         transducer=transducer,
                                         counters=cluster.counters,
                                         fast_path=fast_path, cache_size=0,
-                                        segmented=segmented)
+                                        segmented=segmented, cas=cas)
             # from_obj builds with tokeniser defaults; restore the
             # cluster's configuration for post-restore maintenance
             engine.min_term_length = cluster.min_term_length

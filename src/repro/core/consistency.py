@@ -208,8 +208,12 @@ class ConsistencyManager:
                      cache: Dict[tuple, Set[RemoteId]]) -> Set[RemoteId]:
         from repro.cba import queryast as qa
 
-        if evaluator.is_content_only(node):
+        if evaluator.is_content_only(node) and not qa.has_scope_terms(node):
             return self._forward(node.to_text(), state, scope, cache)
+        if isinstance(node, qa.ScopeTerm):
+            # remote members live in a foreign name space — they have no
+            # path in the local tree, so a subtree scope excludes them all
+            return set()
         if isinstance(node, qa.DirRef):
             return set(self.hacfs.scopes.provided_by_uid(node.uid).remote)
         if isinstance(node, qa.And):

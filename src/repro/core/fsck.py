@@ -62,6 +62,7 @@ def hacfsck(hacfs: "HacFileSystem", repair: bool = False) -> List[Finding]:
     findings += _check_links(hacfs, repair)
     findings += _check_index(hacfs)
     findings += _check_segments(hacfs, repair)
+    findings += _check_cas(hacfs, repair)
     return findings
 
 
@@ -216,6 +217,62 @@ def _check_segments(hacfs, repair: bool = False) -> List[Finding]:
     for seg_id in sorted(named - on_device):
         out.append(Finding("error", "missing-segment", f"seg:{seg_id}",
                            "manifest names a segment with no record"))
+    return out
+
+
+def _check_cas(hacfs, repair: bool = False) -> List[Finding]:
+    """Path-dimension agreement: every engine keeping a CAS index must
+    agree with its document registry doc-for-doc — same membership, same
+    paths.  A path mismatch is the signature of a missed prefix rebase
+    after a directory rename (``cas-divergence``); a partition whose
+    root is not an ancestor of a member's path breaks the containment
+    invariant every CAS probe relies on (``cas-containment``).  The CAS
+    index is derived state, so ``repair`` simply rebuilds it from the
+    registry and the term store — always safe, never lossy."""
+    out: List[Finding] = []
+    engine = hacfs.engine
+    if getattr(engine, "shards", None):
+        engines = [(sid, shard.engine)
+                   for sid, shard in engine.shards.items()]
+    else:
+        engines = [("engine", engine)]
+    for label, eng in engines:
+        cas = getattr(eng, "cas", None)
+        if cas is None or not hasattr(cas, "doc_ids"):
+            continue
+        registry = getattr(eng, "_docs", {})
+        cas_ids = set(cas.doc_ids())
+        diverged = False
+        for doc_id in sorted(cas_ids - set(registry)):
+            diverged = True
+            out.append(Finding("error", "cas-divergence",
+                               f"{label}:doc:{doc_id}",
+                               "CAS indexes a document the registry "
+                               "does not know"))
+        for doc_id in sorted(registry):
+            doc = registry[doc_id]
+            if doc_id not in cas_ids:
+                diverged = True
+                out.append(Finding("error", "cas-divergence", doc.path,
+                                   f"registry document {doc_id} missing "
+                                   f"from the CAS index"))
+                continue
+            cas_path = cas.path_of(doc_id)
+            if cas_path != pathutil.canonical(doc.path):
+                diverged = True
+                out.append(Finding("error", "cas-divergence", doc.path,
+                                   f"CAS prefix key says {cas_path!r} — "
+                                   f"missed rebase after a rename?"))
+                continue
+            root = cas.root_of(doc_id)
+            if root is not None and \
+                    not pathutil.is_ancestor(root, cas_path, strict=False):
+                diverged = True
+                out.append(Finding("error", "cas-containment", doc.path,
+                                   f"partition root {root!r} does not "
+                                   f"contain the member path"))
+        if diverged and repair:
+            eng.rebuild_cas()
     return out
 
 

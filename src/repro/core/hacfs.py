@@ -489,6 +489,13 @@ class HacFileSystem:
             if moving_dir:
                 new_canon = self._canonical_dir(new)
                 self.dirmap.rename_subtree(old_canon, new_canon)
+                # one-pass path rebase alongside the path map: registry
+                # paths and CAS prefix keys follow the moved subtree
+                # immediately, so scope: queries stay correct without
+                # waiting for an ssync to notice the drift
+                rebase = getattr(self.engine, "rebase_paths", None)
+                if callable(rebase):
+                    rebase(old_canon, new_canon)
                 moved_uid = self.dirmap.uid_of(new_canon)
                 new_parent_uid = self.dirmap.uid_of(pathutil.dirname(new_canon))
                 if moved_uid is not None and new_parent_uid is not None:
@@ -711,6 +718,22 @@ class HacFileSystem:
                 "breakers": breakers,
                 "admission": self.admission.status(),
                 "directories": directories}
+
+    def describe_scope(self, path: str) -> Dict[str, object]:
+        """Scope composition for one directory, with its degradation state.
+
+        Merges :meth:`Scope.describe` (local/remote/namespaces — what the
+        directory provides) with the same per-directory staleness entry
+        :meth:`health` reports, so the shell's scope display and
+        ``hac.health()`` can never disagree about what a scope contains
+        or which parts of it are degraded.
+        """
+        norm = self._canonical_dir(path)
+        out: Dict[str, object] = dict(self.scopes.provided(norm).describe())
+        entry = self.health(norm)["directories"].get(norm)
+        out["stale_remote"] = dict(entry["stale_remote"]) if entry else {}
+        out["stale_shards"] = dict(entry["stale_shards"]) if entry else {}
+        return out
 
     def _stale_link_names(self, state) -> List[str]:
         stale_ns = set(state.stale_remote)

@@ -46,9 +46,17 @@ class Scope:
         self.remote = remote if remote is not None else set()
         self.namespaces = namespaces if namespaces is not None else set()
 
+    def describe(self) -> dict:
+        """Structured composition, the shape ``hac.health()`` nests and the
+        shell prints — one source of truth, so the surfaces cannot drift."""
+        return {"local": len(self.local),
+                "remote": sorted(rid.uri() for rid in self.remote),
+                "namespaces": sorted(self.namespaces)}
+
     def __repr__(self):
-        return (f"Scope(local={len(self.local)}, remote={len(self.remote)}, "
-                f"namespaces={sorted(self.namespaces)})")
+        d = self.describe()
+        return (f"Scope(local={d['local']}, remote={d['remote']}, "
+                f"namespaces={d['namespaces']})")
 
 
 class ScopeResolver:
@@ -113,6 +121,16 @@ class ScopeResolver:
         local = Bitmap()
         remote: Set[RemoteId] = set()
         fs = self.hacfs.fs
+        # CAS routing: when the engine keeps a path dimension and no index
+        # maintenance is pending (registry paths == live tree), the subtree's
+        # regular files resolve in one interleaved-index probe instead of a
+        # doc-id lookup per walked file.  Symlink targets and mounted name
+        # spaces are not registry rows, so the walk still collects those.
+        engine = self.hacfs.engine
+        cas_fast = (getattr(engine, "cas", None) is not None
+                    and self.hacfs.maintenance.pending == 0)
+        if cas_fast:
+            local |= engine.scope_docs(path)
         for dirpath, dirnames, filenames in walk(fs, path):
             dir_uid = self.hacfs.dirmap.uid_of(dirpath)
             dir_state = self.hacfs.meta.get(dir_uid) if dir_uid is not None else None
@@ -121,6 +139,8 @@ class ScopeResolver:
                 child = fs.resolve(pathutil.join(dirpath, name), follow=False)
                 node = child.node
                 if isinstance(node, FileNode):
+                    if cas_fast:
+                        continue  # covered wholesale by the CAS probe above
                     doc_id = self.hacfs.engine.doc_id_of((child.fs.fsid, node.ino))
                     if doc_id is not None:
                         local.add(doc_id)

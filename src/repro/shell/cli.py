@@ -33,6 +33,7 @@ commands:
   ln TARGET LINK        symbolic link (permanent inside semantic dirs)
   smkdir PATH QUERY...  create a semantic directory
   squery [PATH]         show a directory's query
+  sscope [PATH]         scope composition (local/remote/stale breakdown)
   schquery PATH QUERY.. change a directory's query
   sls [PATH]            classified link listing
   sact LINK             show the matching lines behind a link
@@ -136,6 +137,9 @@ def _dispatch(shell: HacShell, cmd: str, args: List[str]) -> Optional[str]:
         return f"semantic directory {path}"
     if cmd == "squery":
         return str(shell.squery(args[0] if args else ""))
+    if cmd == "sscope":
+        desc = shell.sscope(args[0] if args else "")
+        return "\n".join(f"{k}: {v}" for k, v in desc.items())
     if cmd == "schquery":
         shell.schquery(args[0], " ".join(args[1:]) or None)
         return ""

@@ -165,6 +165,12 @@ class HacShell:
     def sprohibited(self, path: str = "") -> List[str]:
         return self.hacfs.prohibited(self.resolve_path(path))
 
+    def sscope(self, path: str = "") -> dict:
+        """What the directory provides: local/remote/namespace composition
+        plus the same staleness entries ``health()`` reports — one source
+        of truth, so this display and ``health()`` always agree."""
+        return self.hacfs.describe_scope(self.resolve_path(path))
+
     def spermanent(self, link_path: str) -> None:
         self.hacfs.make_permanent(self.resolve_path(link_path))
 

@@ -47,6 +47,21 @@ def normalize(path: str) -> str:
     return ROOT + SEP.join(comps)
 
 
+def canonical(path: str) -> str:
+    """Normalise leniently: a bare name is coerced under the root.
+
+    Foreign search back-ends register plain document identifiers as their
+    "path" (the engine never walks them), so the path dimension treats
+    such names as living directly under ``/`` rather than rejecting them.
+
+    >>> canonical("fp-survey")
+    '/fp-survey'
+    >>> canonical("/a//b/")
+    '/a/b'
+    """
+    return normalize(path if is_absolute(path) else ROOT + path)
+
+
 def join(base: str, *parts: str) -> str:
     """Join path fragments; an absolute fragment resets the result.
 
