@@ -130,3 +130,101 @@ class SearchBackend(Protocol):
 
     @classmethod
     def from_obj(cls, obj, loader, **kwargs) -> "SearchBackend": ...
+
+
+# ======================================================================
+# unified backend construction
+# ======================================================================
+
+class MonolithFactory:
+    """Engine factory for the single-process :class:`CBAEngine`.
+
+    The callable-plus-``from_obj`` shape mirrors
+    :class:`~repro.cluster.ClusterFactory`, so ``HacFileSystem`` (and
+    ``restore``) drive every backend kind through one seam.
+    """
+
+    def __init__(self, segmented: bool = True):
+        self.segmented = segmented
+
+    def __call__(self, loader, *, counters=None, clock=None, transducer=None,
+                 num_blocks: int = 64, fast_path: bool = True):
+        from repro.cba.engine import CBAEngine
+        from repro.cba.transducers import default_transducer
+
+        return CBAEngine(loader=loader, num_blocks=num_blocks,
+                         transducer=transducer or default_transducer,
+                         counters=counters, fast_path=fast_path,
+                         segmented=self.segmented)
+
+    def from_obj(self, obj, *, loader, counters=None, clock=None,
+                 transducer=None, fast_path: bool = True):
+        from repro.cba.engine import CBAEngine
+        from repro.cba.transducers import default_transducer
+
+        return CBAEngine.from_obj(obj, loader=loader,
+                                  transducer=transducer or default_transducer,
+                                  counters=counters, fast_path=fast_path,
+                                  segmented=self.segmented)
+
+
+def open_backend(spec, **options):
+    """One entry point for every search-backend kind.
+
+    Before this, the three backends had three divergent constructor
+    signatures (``CBAEngine(...)``, ``ClusterFactory(...)(...)``,
+    ``SimulatedSearchService(...)``); callers hard-coded which one they
+    were building.  ``open_backend`` takes a *spec* and returns the right
+    thing for the seam the spec names:
+
+    * ``"monolith"`` → a :class:`MonolithFactory` (pass as
+      ``HacFileSystem(backend=...)``);
+    * ``"cluster"`` or ``"cluster:<K>"`` → a
+      :class:`~repro.cluster.ClusterFactory` with K shards;
+    * ``"remote:<ns_id>"`` → a
+      :class:`~repro.remote.searchsvc.SimulatedSearchService` (pass to
+      ``smount``);
+    * a dict ``{"kind": ..., **kwargs}`` — the explicit form of any of
+      the above;
+    * an already-built factory/namespace passes through unchanged.
+
+    Keyword *options* are forwarded to the underlying constructor
+    (``shards=``, ``latency=``, ``documents=``, ``segmented=``, ...).
+    """
+    if spec is None:
+        return MonolithFactory(**options)
+    if isinstance(spec, dict):
+        spec = dict(spec)
+        kind = spec.pop("kind", "monolith")
+        merged = {**spec, **options}
+        return _build_backend(str(kind), merged)
+    if isinstance(spec, str):
+        kind, _, arg = spec.partition(":")
+        merged = dict(options)
+        if arg:
+            if kind == "cluster":
+                merged.setdefault("shards", int(arg))
+            elif kind == "remote":
+                merged.setdefault("namespace_id", arg)
+        return _build_backend(kind, merged)
+    # anything already satisfying a backend seam passes through
+    return spec
+
+
+def _build_backend(kind: str, options: Dict[str, object]):
+    if kind == "monolith":
+        return MonolithFactory(**options)
+    if kind == "cluster":
+        from repro.cluster import ClusterFactory
+
+        return ClusterFactory(**options)
+    if kind == "remote":
+        from repro.remote.searchsvc import SimulatedSearchService
+
+        ns_id = options.pop("namespace_id", None)
+        if ns_id is None:
+            raise ValueError("remote backend spec needs a namespace id "
+                             "('remote:<ns_id>')")
+        return SimulatedSearchService(str(ns_id), **options)
+    raise ValueError(f"unknown backend kind: {kind!r} "
+                     "(monolith | cluster | remote)")

@@ -209,6 +209,26 @@ class ScopeTerm(Node):
         return (self.prefix,)
 
 
+def scoped(node: Node, prefix: str) -> Node:
+    """*node* restricted to the subtree at *prefix* — the programmatic
+    form of writing ``scope:<prefix> AND <query>``.
+
+    The tenant facade builds every query this way, so one shared index
+    answers per-tenant searches from its CAS prefix partitions.  A node
+    already scoped at-or-below *prefix* is returned unchanged (the
+    narrower scope subsumes the wider one).
+    """
+    from repro.util import pathutil
+
+    term = ScopeTerm(prefix)
+    if isinstance(node, ScopeTerm) and \
+            pathutil.is_ancestor(term.prefix, node.prefix, strict=False):
+        return node
+    if isinstance(node, MatchAll):
+        return term
+    return And([term, node])
+
+
 class DirRef(Node):
     """The stored query-result of another directory, by UID."""
 

@@ -91,12 +91,11 @@ class ChaosWorld:
         self.max_queue_depth = max_queue_depth
         self.clock = VirtualClock()
         self.counters = Counters()
-        if k > 0:
-            from repro.cluster import ClusterFactory
+        from repro.cba.backend import open_backend
 
-            self.factory = ClusterFactory(shards=k, latency=0.0)
-        else:
-            self.factory = None
+        self.backend = (open_backend({"kind": "cluster", "shards": k,
+                                      "latency": 0.0})
+                        if k > 0 else None)
         # a pinned fsid makes the soak reproducible across processes:
         # doc keys embed the fsid, and the cluster hashes keys onto
         # shards, so a process-unique id would reshuffle placement
@@ -104,7 +103,7 @@ class ChaosWorld:
                         counters=self.counters, fsid="hac#soak")
         self.hac = HacFileSystem(fs=fs, clock=self.clock,
                                  counters=self.counters,
-                                 engine_factory=self.factory)
+                                 backend=self.backend)
         self.shell = HacShell(self.hac)
         self.hac.makedirs("/notes")
         for path, text in sorted(_NOTES.items()):
@@ -147,7 +146,7 @@ class ChaosWorld:
         in-memory state (mounts, watches, mode, admission) and reconverge."""
         self.hac = HacFileSystem.restore(self.hac.fs, clock=self.clock,
                                          counters=self.counters,
-                                         engine_factory=self.factory)
+                                         backend=self.backend)
         self.shell = HacShell(self.hac)
         self._wire()
         self.shell.ssync("/")

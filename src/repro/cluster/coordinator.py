@@ -40,7 +40,7 @@ Degradation is partial, never fatal: a shard whose transport fails (with
 id lands in :attr:`ShardedSearchCluster.missing_shards`, and the query
 returns exactly the union of the surviving shards' answers.  HAC reads and
 resets the flag around each semantic-directory re-evaluation and surfaces
-it the way PR 2 surfaces ``stale_remote``.
+it the way PR 2 surfaces ``degraded_remote``.
 """
 
 from __future__ import annotations

@@ -66,15 +66,47 @@ class ConsistencyManager:
         if not affected:
             return 0
         order = graph.topo_order(affected)
+        touched = self._origin_tenants(origin_uids)
         count = 0
         with self.hacfs.obs.trace.span("hac.cascade",
                                        affected=len(order)) as span:
             for uid in order:
+                if touched is not None and self._foreign_tenant_dir(uid, touched):
+                    # a tenant's query is scope-filtered to its own subtree,
+                    # so a mutation that stayed outside that subtree cannot
+                    # change its results — skipping both saves the work and
+                    # keeps another tenant's fault window off this record
+                    self._stats.add("cross_tenant_skips")
+                    continue
                 if self.reevaluate(uid):
                     count += 1
             span.set(reevaluated=count)
         self._stats.add("cascades")
         return count
+
+    def _origin_tenants(self, origin_uids: List[int]) -> Optional[Set[str]]:
+        """Tenant subtrees the mutation touched — ``None`` disables the
+        cross-tenant cascade pruning entirely (no tenants registered)."""
+        tenants = getattr(self.hacfs, "tenants", None)
+        if not tenants:
+            return None
+        touched: Set[str] = set()
+        for uid in origin_uids:
+            path = self.hacfs.dirmap.path_of(uid)
+            if path is not None:
+                owner = tenants.tenant_of_path(path)
+                if owner is not None:
+                    touched.add(owner)
+        return touched
+
+    def _foreign_tenant_dir(self, uid: int, touched: Set[str]) -> bool:
+        """True for a directory owned by a tenant the mutation did not
+        touch (host-owned directories are never foreign)."""
+        path = self.hacfs.dirmap.path_of(uid)
+        if path is None:
+            return False
+        owner = self.hacfs.tenants.tenant_of_path(path)
+        return owner is not None and owner not in touched
 
     def reevaluate_all(self) -> int:
         """Global pass in full topological order (used after reindexing)."""
@@ -157,12 +189,12 @@ class ConsistencyManager:
                         and engine.shard_of(target.key) in missing:
                     new_targets.add(target)
             for shard_id in sorted(missing):
-                if shard_id not in state.stale_shards:
-                    state.stale_shards[shard_id] = self.hacfs.clock.now
+                if shard_id not in state.degraded_shards:
+                    state.degraded_shards[shard_id] = self.hacfs.clock.now
                     self._stats.add("shard_degradations")
-        for shard_id in list(state.stale_shards):
+        for shard_id in list(state.degraded_shards):
             if shard_id not in missing:
-                del state.stale_shards[shard_id]
+                del state.degraded_shards[shard_id]
                 self._stats.add("shard_recoveries")
 
         # write-ahead for the tree: journal this directory's record
@@ -265,12 +297,12 @@ class ConsistencyManager:
             # flag them stale until the back-end answers again (breaker
             # rejections land here too — CircuitOpen is a BackendUnavailable)
             self._stats.add("remote_failures")
-            if ns_id not in state.stale_remote:
-                state.stale_remote[ns_id] = self.hacfs.clock.now
+            if ns_id not in state.degraded_remote:
+                state.degraded_remote[ns_id] = self.hacfs.clock.now
                 self._stats.add("stale_degradations")
             return {t.remote_id() for t in state.links.transient.values()
                     if t.is_remote and t.realm == ns_id}
-        if state.stale_remote.pop(ns_id, None) is not None:
+        if state.degraded_remote.pop(ns_id, None) is not None:
             self._stats.add("stale_recoveries")
         return {r.remote_id(ns_id) for r in results}
 

@@ -63,6 +63,7 @@ def hacfsck(hacfs: "HacFileSystem", repair: bool = False) -> List[Finding]:
     findings += _check_index(hacfs)
     findings += _check_segments(hacfs, repair)
     findings += _check_cas(hacfs, repair)
+    findings += _check_tenants(hacfs, repair)
     return findings
 
 
@@ -291,4 +292,42 @@ def _check_index(hacfs) -> List[Finding]:
         if node is None or not node.is_file:
             out.append(Finding("info", "stale-doc", doc.path if doc else str(key),
                                "indexed file no longer exists (settles at sync)"))
+    return out
+
+
+def _check_tenants(hacfs, repair: bool) -> List[Finding]:
+    """Tenant table sanity: every attached tenant owns a live scope root,
+    the charged ledger agrees with a fresh subtree recount, and usage sits
+    inside the declared budgets.  ``repair=True`` adopts the recount as the
+    ledger (the recount is derived from the crash-consistent tree, so it
+    wins every disagreement)."""
+    from repro.core.quota import recompute_usage
+
+    out: List[Finding] = []
+    tenants = getattr(hacfs, "tenants", None)
+    if tenants is None or len(tenants) == 0:
+        return out
+    for name in tenants.names():
+        tenant = tenants.get(name)
+        if not hacfs.fs.isdir(tenant.root):
+            out.append(Finding("error", "tenant-root-missing", tenant.root,
+                               f"tenant {name!r} registered but its scope "
+                               f"root is not a live directory"))
+            continue
+        actual = recompute_usage(hacfs.fs, tenant.root)
+        charged = tenant.ledger.usage()
+        if actual != charged:
+            out.append(Finding("warn", "tenant-usage-drift", tenant.root,
+                               f"ledger says {charged}, tree recount says "
+                               f"{actual}"))
+            if repair:
+                tenant.ledger.inodes = actual["inodes"]
+                tenant.ledger.bytes = actual["bytes"]
+        for resource in ("inodes", "bytes"):
+            limit = tenant.ledger.spec.limit_of(resource)
+            if limit is not None and actual[resource] > limit:
+                out.append(Finding("warn", "tenant-over-quota", tenant.root,
+                                   f"{resource} usage {actual[resource]} "
+                                   f"exceeds the budget {limit} (grew "
+                                   f"outside the facade?)"))
     return out

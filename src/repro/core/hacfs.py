@@ -60,8 +60,30 @@ from repro.core.scheduler import MaintenanceScheduler
 from repro.core.scope import ScopeResolver
 from repro.core.semdir import MetaStore
 from repro.core.watch import WatchManager
+from repro.core.tenant import TenantManager
 from repro.remote.namespace import NameSpace
 from repro.remote.semmount import SemanticMountTable
+
+
+def _resolve_backend(backend, engine_factory):
+    """Fold the deprecated ``engine_factory=`` shim into the unified
+    ``backend=`` seam (one release of :class:`DeprecationWarning`, then
+    the kwarg goes away).  Returns an engine factory or None (the
+    built-in monolith path)."""
+    if engine_factory is not None:
+        import warnings
+
+        warnings.warn(
+            "HacFileSystem(engine_factory=...) is deprecated; pass "
+            "backend=open_backend(spec) (repro.cba.backend) instead",
+            DeprecationWarning, stacklevel=3)
+        if backend is None:
+            return engine_factory
+    if backend is None:
+        return None
+    from repro.cba.backend import open_backend
+
+    return open_backend(backend)
 
 
 class HacFileSystem:
@@ -76,7 +98,9 @@ class HacFileSystem:
                  obs: Optional[Observability] = None,
                  engine_factory=None,
                  path_map: bool = True,
-                 segmented: bool = True):
+                 segmented: bool = True,
+                 backend=None):
+        engine_factory = _resolve_backend(backend, engine_factory)
         self.counters = counters if counters is not None else Counters()
         self.clock = clock if clock is not None else VirtualClock()
         #: the observability plane — disabled by default; enable with
@@ -137,6 +161,9 @@ class HacFileSystem:
         }
         # the root's (empty) HAC state — uid 0 is pre-registered in the map
         self.meta.create(GlobalDirectoryMap.ROOT_UID)
+        #: multi-tenant namespaces over this shared file system; empty
+        #: until the first ``tenants.create(...)`` and costs nothing before
+        self.tenants = TenantManager(self)
         self._persist_maps()
         self._wire_obs()
 
@@ -592,8 +619,12 @@ class HacFileSystem:
     # semantic operations
     # ==================================================================
 
-    def smkdir(self, path: str, query: str) -> str:
-        """Create a semantic directory: a real directory with a query."""
+    def smkdir(self, path: str, query: str, resolve_dir=None) -> str:
+        """Create a semantic directory: a real directory with a query.
+
+        *resolve_dir* overrides how the query's directory references map
+        to UIDs (the tenant facade resolves them inside its namespace).
+        """
         self._hac.add("smkdir")
         # one intent for the whole operation — the nested mkdir/set_query
         # intents join it, so a crash anywhere undoes the directory entirely
@@ -602,17 +633,20 @@ class HacFileSystem:
                               "query": query}):
             self.mkdir(path)
             canon = self._canonical_dir(path)
-            self.set_query(canon, query)
+            self.set_query(canon, query, resolve_dir=resolve_dir)
         return canon
 
-    def set_query(self, path: str, query: Optional[str]) -> None:
+    def set_query(self, path: str, query: Optional[str],
+                  resolve_dir=None) -> None:
         """Attach, change, or (with None) detach a directory's query."""
         self._hac.add("set_query")
         uid, state = self._state_of(path)
         canon = self.dirmap.path_of(uid)
         # parse before opening the intent: a syntax error is not a mutation
         ast = None if query is None \
-            else parse_query(query, resolve_dir=self.dirmap.uid_of)
+            else parse_query(query, resolve_dir=resolve_dir
+                             if resolve_dir is not None
+                             else self.dirmap.uid_of)
         with self._journaled("set_query", {"path": canon, "query": query}):
             if query is None:
                 # detach: drop transient links, keep permanent/prohibited
@@ -668,24 +702,21 @@ class HacFileSystem:
         return sorted(str(t) for t in state.links.prohibited)
 
     def health(self, path: Optional[str] = None) -> Dict[str, object]:
-        """One structured degradation report for the whole name space.
-
-        Consolidates what used to be three separate probes — per-directory
-        remote staleness, per-directory shard staleness, and the mount
-        table's back-end health — into a single shape::
+        """One structured degradation report for the whole name space —
+        the *only* status surface (the pre-PR 5 per-probe accessors are
+        gone)::
 
             {"backends":    {ns_id: breaker state},          # semantic mounts
              "shards":      {shard_id: health},              # search back-end
+             "tenants":     {name: {usage, quota, pending}}, # namespaces
              "directories": {dir_path: {
-                 "stale_remote": {ns_id: since},
-                 "stale_shards": {shard_id: since},
-                 "stale_links":  [link names]}}}
+                 "degraded_remote": {ns_id: since},
+                 "degraded_shards": {shard_id: since},
+                 "degraded_links":  [link names]}}}
 
         Only degrading directories appear.  *path* restricts the
         ``directories`` section to one directory (still listed only when
-        degrading).  The legacy accessors — :meth:`stale_remote`,
-        :meth:`stale_shards`, :meth:`stale_links` — are deprecated thin
-        aliases over this report.
+        degrading).
         """
         self._hac.add("health")
         directories: Dict[str, Dict[str, object]] = {}
@@ -695,15 +726,16 @@ class HacFileSystem:
             wanted = list(self.meta.uids())
         for uid in wanted:
             state = self.meta.get(uid)
-            if state is None or not (state.stale_remote or state.stale_shards):
+            if state is None or not (state.degraded_remote
+                                     or state.degraded_shards):
                 continue
             dir_path = self.dirmap.path_of(uid)
             if dir_path is None:
                 continue
             directories[dir_path] = {
-                "stale_remote": dict(state.stale_remote),
-                "stale_shards": dict(state.stale_shards),
-                "stale_links": self._stale_link_names(state),
+                "degraded_remote": dict(state.degraded_remote),
+                "degraded_shards": dict(state.degraded_shards),
+                "degraded_links": self._degraded_link_names(state),
             }
         breakers: Dict[str, object] = {
             ns_id: b.describe() for ns_id, b in self.semmounts.breakers().items()
@@ -717,13 +749,14 @@ class HacFileSystem:
                 "snapshots": self.engine.snapshot_info(),
                 "breakers": breakers,
                 "admission": self.admission.status(),
+                "tenants": self.tenants.describe(),
                 "directories": directories}
 
     def describe_scope(self, path: str) -> Dict[str, object]:
         """Scope composition for one directory, with its degradation state.
 
         Merges :meth:`Scope.describe` (local/remote/namespaces — what the
-        directory provides) with the same per-directory staleness entry
+        directory provides) with the same per-directory degradation entry
         :meth:`health` reports, so the shell's scope display and
         ``hac.health()`` can never disagree about what a scope contains
         or which parts of it are degraded.
@@ -731,37 +764,20 @@ class HacFileSystem:
         norm = self._canonical_dir(path)
         out: Dict[str, object] = dict(self.scopes.provided(norm).describe())
         entry = self.health(norm)["directories"].get(norm)
-        out["stale_remote"] = dict(entry["stale_remote"]) if entry else {}
-        out["stale_shards"] = dict(entry["stale_shards"]) if entry else {}
+        out["degraded_remote"] = dict(entry["degraded_remote"]) if entry else {}
+        out["degraded_shards"] = dict(entry["degraded_shards"]) if entry else {}
         return out
 
-    def _stale_link_names(self, state) -> List[str]:
-        stale_ns = set(state.stale_remote)
+    def _degraded_link_names(self, state) -> List[str]:
+        degraded_ns = set(state.degraded_remote)
         out = [name for name, t in state.links.transient.items()
-               if t.is_remote and t.realm in stale_ns]
-        stale_shards = set(state.stale_shards)
-        if stale_shards:
+               if t.is_remote and t.realm in degraded_ns]
+        degraded_shards = set(state.degraded_shards)
+        if degraded_shards:
             out.extend(name for name, t in state.links.transient.items()
                        if t.is_local
-                       and self.engine.shard_of(t.key) in stale_shards)
+                       and self.engine.shard_of(t.key) in degraded_shards)
         return sorted(out)
-
-    # -- deprecated aliases over health() ------------------------------------
-
-    def stale_remote(self, path: str) -> Dict[str, float]:
-        """Deprecated: read ``health(path)["directories"]`` instead."""
-        entry = self.health(path)["directories"].get(self._canonical_dir(path))
-        return entry["stale_remote"] if entry else {}
-
-    def stale_links(self, path: str) -> List[str]:
-        """Deprecated: read ``health(path)["directories"]`` instead."""
-        entry = self.health(path)["directories"].get(self._canonical_dir(path))
-        return entry["stale_links"] if entry else []
-
-    def stale_shards(self, path: str) -> Dict[str, float]:
-        """Deprecated: read ``health(path)["directories"]`` instead."""
-        entry = self.health(path)["directories"].get(self._canonical_dir(path))
-        return entry["stale_shards"] if entry else {}
 
     def classify(self, link_path: str) -> Optional[str]:
         """'permanent' | 'transient' | None for one directory entry."""
@@ -1080,6 +1096,7 @@ class HacFileSystem:
                 fast_path: bool = True,
                 obs: Optional[Observability] = None,
                 engine_factory=None,
+                backend=None,
                 segmented: bool = True) -> "HacFileSystem":
         """Rebuild a HAC file system from the records persisted on *fs*'s
         device (crash recovery / reopen).
@@ -1104,6 +1121,7 @@ class HacFileSystem:
         from repro.core.recovery import (RecoveryReport, recover_records,
                                          undo_tree)
 
+        engine_factory = _resolve_backend(backend, engine_factory)
         hacfs = cls.__new__(cls)
         hacfs.counters = counters if counters is not None else Counters()
         hacfs.clock = clock if clock is not None else VirtualClock()
@@ -1112,6 +1130,10 @@ class HacFileSystem:
         hacfs.fs = fs
         hacfs._hac = hacfs.counters.scoped("hac")
         fs.device.clear_faults()  # the reboot: the device comes back up
+        # the reopened instance resolves paths itself from here on; cached
+        # generations from the pre-crash instance must not survive the reboot
+        # (a pinned fsid would otherwise revalidate them as live)
+        fs.reset_path_map()
         fs.tracer = hacfs.obs.trace
         fs.device.tracer = hacfs.obs.trace
         hacfs.meta = MetaStore(fs.device)
@@ -1197,6 +1219,8 @@ class HacFileSystem:
                                      segmented=segmented)
             restore_stats.add("index_rebuilds")
         hacfs._wire_obs()
+        hacfs.tenants = TenantManager(hacfs)
+        hacfs.tenants.reload()
         # a saved index makes this incremental (Θ(changes), not Θ(corpus))
         hacfs.ssync("/")
         return hacfs

@@ -108,6 +108,10 @@ class Journal:
         #: op id, which is what correlates a recovered intent to its trace
         self._trace = tracer if tracer is not None else NULL_TRACER
         self._active: Optional[Intent] = None
+        #: tenant attribution context: while set (by the tenant facade),
+        #: every intent opened carries the tenant id in its payload, so
+        #: the WAL itself records which namespace each mutation belongs to
+        self.tenant: Optional[str] = None
         self._seq = self._scan_next_seq()
         device.record_hook = self._on_record_touch
 
@@ -167,6 +171,8 @@ class Journal:
         """Open an intent; returns None when one is already active (nested)."""
         if self._active is not None:
             return None
+        if self.tenant is not None and "tenant" not in payload:
+            payload = dict(payload, tenant=self.tenant)
         seq = self._seq
         self._seq += 1
         intent = Intent(seq, op, payload)

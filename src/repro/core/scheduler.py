@@ -76,7 +76,7 @@ class PendingDoc:
     """
 
     __slots__ = ("key", "doc_id", "alive", "tombstoned", "path", "mtime",
-                 "renamed_to")
+                 "renamed_to", "tenant")
 
     def __init__(self, key, doc_id: Optional[int], alive: bool,
                  tombstoned: bool, path: str, mtime: float):
@@ -87,6 +87,8 @@ class PendingDoc:
         self.path = path
         self.mtime = mtime
         self.renamed_to: Optional[str] = None
+        #: owning tenant's drain bucket (None = shared namespace)
+        self.tenant: Optional[str] = None
 
 
 class MaintenanceScheduler:
@@ -112,6 +114,11 @@ class MaintenanceScheduler:
         #: journal seq of the last drained batch's intent, carried onto
         #: the publish event that follows the commit
         self._last_intent_seq: Optional[int] = None
+        #: path → tenant name hook (installed by the TenantManager); None
+        #: until tenants exist, so the default pipeline never pays for it
+        self._tenant_resolver = None
+        #: tenant → fair-share weight in the round-robin drain order
+        self._tenant_weights: Dict[str, int] = {}
         self._stats = hacfs.counters.scoped("sched")
 
     # ------------------------------------------------------------------
@@ -130,6 +137,32 @@ class MaintenanceScheduler:
     @property
     def pending(self) -> int:
         return len(self._pending)
+
+    # -- tenant attribution (fair-share drains) ------------------------
+
+    def set_tenant_resolver(self, resolver) -> None:
+        """Install the path → tenant-name hook (the TenantManager's)."""
+        self._tenant_resolver = resolver
+
+    def register_tenant(self, tenant: str, weight: int = 1) -> None:
+        """Give *tenant* its own drain bucket with a round-robin weight."""
+        self._tenant_weights[tenant] = max(1, int(weight))
+
+    def _resolve_tenant(self, path: str) -> Optional[str]:
+        if self._tenant_resolver is None or not path:
+            return None
+        try:
+            return self._tenant_resolver(path)
+        except Exception:
+            return None
+
+    def pending_by_tenant(self) -> Dict[str, int]:
+        """Pending entries per tenant bucket (shared entries excluded)."""
+        out: Dict[str, int] = {}
+        for entry in self._pending.values():
+            if entry.tenant is not None:
+                out[entry.tenant] = out.get(entry.tenant, 0) + 1
+        return out
 
     def status(self) -> Dict[str, object]:
         """Structured snapshot for the shell's ``sched`` command."""
@@ -150,6 +183,8 @@ class MaintenanceScheduler:
             "publishes": self._stats.get("publishes"),
             "replica_lag": {str(r["id"]): info["version"] - r["version"]
                             for r in info["replicas"]},
+            **({"tenants": self.pending_by_tenant()}
+               if self._tenant_weights else {}),
         }
 
     # ------------------------------------------------------------------
@@ -178,6 +213,7 @@ class MaintenanceScheduler:
             entry = PendingDoc(key, doc_id, alive=True, tombstoned=False,
                                path=path, mtime=mtime)
             self._enqueue(entry)
+        entry.tenant = self._resolve_tenant(path)
         self._note_origin(path)
         self._after_event()
 
@@ -201,6 +237,7 @@ class MaintenanceScheduler:
         else:
             entry = PendingDoc(key, None, alive=False,
                                tombstoned=key in engine, path="", mtime=0.0)
+            entry.tenant = self._resolve_tenant(parent_dir)
             self._enqueue(entry)
         self._note_origin_dir(parent_dir)
         self._after_event()
@@ -238,6 +275,7 @@ class MaintenanceScheduler:
                                    tombstoned=False, path=new_path,
                                    mtime=mtime)
             self._enqueue(entry)
+        entry.tenant = self._resolve_tenant(new_path)
         self._note_origin(new_path)
         self._after_event()
 
@@ -255,16 +293,23 @@ class MaintenanceScheduler:
     # drains
     # ------------------------------------------------------------------
 
-    def barrier(self) -> int:
+    def barrier(self, tenant: Optional[str] = None) -> int:
         """The pre-query drain: semantic re-evaluation, ``ssync``/
         ``reindex``, ``save_index``, ``fsck`` and engine adoption call
         this first so no consumer ever observes a torn batch.  A no-op
         mid-drain (the drain's own cascade lands here) and when nothing
-        is pending."""
+        is pending.
+
+        With *tenant*, only that tenant's bucket is drained — the
+        fair-share read path: a tenant's strong query never pays to
+        settle a *neighbour's* write storm, only its own."""
         if self._draining or not (self._pending or self._sync_roots):
             return 0
+        if tenant is not None and not any(
+                e.tenant == tenant for e in self._pending.values()):
+            return 0
         self._stats.add("barrier_drains")
-        return self.drain(reason="barrier")
+        return self.drain(reason="barrier", tenant=tenant)
 
     def request_sync(self, path: str = "/") -> bool:
         """Queue an ``ssync`` of *path* to run right after the next drain
@@ -277,7 +322,8 @@ class MaintenanceScheduler:
         self._sync_roots.append(path)
         return True
 
-    def drain(self, reason: str = "explicit") -> int:
+    def drain(self, reason: str = "explicit",
+              tenant: Optional[str] = None) -> int:
         """Apply every pending update as one group-committed batch.
 
         Entries are grouped into per-shard sub-batches (``shard_of`` from
@@ -288,24 +334,47 @@ class MaintenanceScheduler:
         entry is re-queued — the apply step reconciles against the live
         tree, so retrying is idempotent and nothing is ever dropped.
         Returns the number of index operations applied.
+
+        A full drain applies entries in **weighted round-robin order
+        over the per-tenant buckets** (FIFO within a bucket, the shared
+        bucket last) — order cannot change results, because doc ids are
+        reserved at enqueue time and the cascade runs once over the
+        union of origins, but it bounds how long any tenant's documents
+        sit behind a neighbour's storm inside one batch.  With *tenant*,
+        only that tenant's entries (and the origin directories inside
+        its subtree) drain; everything else — including queued async
+        syncs — stays for the next full drain.
         """
         if self._draining or not (self._pending or self._sync_roots):
             return 0
         self._draining = True
         try:
-            entries = list(self._pending.values())
-            self._pending = OrderedDict()
-            origins = sorted(self._origins)
-            self._origins = set()
-            sync_roots, self._sync_roots = self._sync_roots, []
-            self._ops_absorbed = 0
+            if tenant is None:
+                entries = self._fair_order(list(self._pending.values()))
+                self._pending = OrderedDict()
+                origins = sorted(self._origins)
+                self._origins = set()
+                sync_roots, self._sync_roots = self._sync_roots, []
+                self._ops_absorbed = 0
+            else:
+                entries = [e for e in self._pending.values()
+                           if e.tenant == tenant]
+                for entry in entries:
+                    del self._pending[entry.key]
+                origins, kept = self._split_origins(tenant)
+                self._origins = kept
+                sync_roots = []
             self._last_intent_seq = None
             ops = 0
-            with self.hacfs.obs.trace.span("sched.drain", reason=reason,
-                                           docs=len(entries)) as span:
+            span_tags = {"reason": reason, "docs": len(entries)}
+            if tenant is not None:
+                span_tags["tenant"] = tenant
+            with self.hacfs.obs.trace.span("sched.drain",
+                                           **span_tags) as span:
                 try:
                     if entries or origins:
-                        ops = self._apply_batch(entries, origins)
+                        ops = self._apply_batch(entries, origins,
+                                                tenant=tenant)
                 except BaseException:
                     # re-queue everything (later events win over the
                     # requeued state, matching last-write-wins)
@@ -344,14 +413,71 @@ class MaintenanceScheduler:
         self.hacfs.journal.note_publish(version, seq)
         return version
 
+    def _fair_order(self, entries: List[PendingDoc]) -> List[PendingDoc]:
+        """Weighted round-robin interleave of the per-tenant buckets.
+
+        Bit-identity is free here: doc ids are pinned at enqueue and keys
+        are unique after coalescing, so apply order cannot change what any
+        query answers — only who waits behind whom inside the batch.  One
+        bucket (the common case, and every pre-tenant workload) returns
+        the entries untouched, byte-for-byte the old arrival order.
+        """
+        buckets: "OrderedDict[Optional[str], List[PendingDoc]]" = OrderedDict()
+        for entry in entries:
+            buckets.setdefault(entry.tenant, []).append(entry)
+        if len(buckets) <= 1:
+            return entries
+        names = sorted(n for n in buckets if n is not None)
+        if None in buckets:
+            names.append(None)
+        out: List[PendingDoc] = []
+        index = {name: 0 for name in names}
+        remaining = len(entries)
+        while remaining:
+            for name in names:
+                queue = buckets[name]
+                start = index[name]
+                if start >= len(queue):
+                    continue
+                weight = self._tenant_weights.get(name, 1) \
+                    if name is not None else 1
+                stop = min(start + weight, len(queue))
+                out.extend(queue[start:stop])
+                index[name] = stop
+                remaining -= stop - start
+        return out
+
+    def _split_origins(self, tenant: str):
+        """Partition queued origin UIDs into (drained, kept): a tenant
+        drain cascades only over directories inside the tenant subtree."""
+        resolver = self._tenant_resolver
+        drained: List[int] = []
+        kept: set = set()
+        for uid in self._origins:
+            path = self.hacfs.dirmap.path_of(uid)
+            owner = None
+            if path is not None and resolver is not None:
+                try:
+                    owner = resolver(path)
+                except Exception:
+                    owner = None
+            if owner == tenant:
+                drained.append(uid)
+            else:
+                kept.add(uid)
+        return sorted(drained), kept
+
     def _apply_batch(self, entries: List[PendingDoc],
-                     origins: List[int]) -> int:
+                     origins: List[int],
+                     tenant: Optional[str] = None) -> int:
         engine = self.hacfs.engine
         groups: "OrderedDict[Optional[str], List[PendingDoc]]" = OrderedDict()
         for entry in entries:
             groups.setdefault(engine.shard_of(entry.key), []).append(entry)
         ops = 0
         payload = {"docs": len(entries), "origins": len(origins)}
+        if tenant is not None:
+            payload["tenant"] = tenant
         with self.hacfs._journaled("sched_batch", payload) as intent:
             self._last_intent_seq = intent.seq if intent is not None else None
             for sid, group in groups.items():

@@ -30,7 +30,7 @@ class SemanticDirState:
     """Everything HAC knows about one directory beyond the VFS itself."""
 
     __slots__ = ("uid", "query", "query_text", "links", "result_cache",
-                 "stale_remote", "stale_shards")
+                 "degraded_remote", "degraded_shards")
 
     def __init__(self, uid: int):
         self.uid = uid
@@ -43,12 +43,12 @@ class SemanticDirState:
         #: (the paper's N/8-byte stored representation)
         self.result_cache = Bitmap()
         #: namespace id → virtual time since when that back-end has been
-        #: unreachable; its links are last-known-good ("stale") while listed
-        self.stale_remote: Dict[str, float] = {}
+        #: unreachable; its links are last-known-good (stale) while listed
+        self.degraded_remote: Dict[str, float] = {}
         #: search-cluster shard id → virtual time since when that shard has
         #: been missing from this directory's evaluations (same degradation
-        #: contract as ``stale_remote``, for the local sharded engine)
-        self.stale_shards: Dict[str, float] = {}
+        #: contract as ``degraded_remote``, for the local sharded engine)
+        self.degraded_shards: Dict[str, float] = {}
 
     @property
     def is_semantic(self) -> bool:
@@ -61,8 +61,8 @@ class SemanticDirState:
             "query_text": self.query_text,
             "links": self.links.to_obj(),
             "result": self.result_cache.to_bytes(),
-            "stale": dict(self.stale_remote),
-            "stale_shards": dict(self.stale_shards),
+            "degraded_remote": dict(self.degraded_remote),
+            "degraded_shards": dict(self.degraded_shards),
         }
 
     @classmethod
@@ -73,11 +73,11 @@ class SemanticDirState:
         state.query_text = obj["query_text"]
         state.links = LinkSets.from_obj(obj["links"])
         state.result_cache = Bitmap.from_bytes(obj["result"])
-        # records written before staleness tracking lack the fields
-        state.stale_remote = {str(k): float(v)
-                              for k, v in obj.get("stale", {}).items()}
-        state.stale_shards = {str(k): float(v)
-                              for k, v in obj.get("stale_shards", {}).items()}
+        # records written before degradation tracking lack the fields
+        state.degraded_remote = {str(k): float(v)
+                                 for k, v in obj.get("degraded_remote", {}).items()}
+        state.degraded_shards = {str(k): float(v)
+                                 for k, v in obj.get("degraded_shards", {}).items()}
         return state
 
     def __repr__(self):

@@ -284,3 +284,33 @@ class StaleHandle(HacError):
     def __init__(self, target: str):
         self.target = target
         super().__init__(f"stale link target: {target}")
+
+
+class UnknownTenant(HacError):
+    """No tenant registered under this name."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unknown tenant: {name!r}")
+
+
+class QuotaExceeded(HacError):
+    """A tenant operation would overrun one of its resource budgets.
+
+    Raised *before* the operation touches any structure — no bytes land,
+    no inode is allocated, no index entry is reserved — so a rejected
+    request needs no rollback.  Carries the full accounting picture so
+    callers (and tests) can assert exactly which budget tripped.
+    """
+
+    def __init__(self, tenant: str, resource: str, used: int, limit: int,
+                 requested: int = 0):
+        self.tenant = tenant
+        #: "inodes" | "bytes" | "docs"
+        self.resource = resource
+        self.used = used
+        self.limit = limit
+        self.requested = requested
+        super().__init__(
+            f"tenant {tenant!r} over {resource} quota: "
+            f"used {used} + requested {requested} > limit {limit}")

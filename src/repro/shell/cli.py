@@ -33,7 +33,7 @@ commands:
   ln TARGET LINK        symbolic link (permanent inside semantic dirs)
   smkdir PATH QUERY...  create a semantic directory
   squery [PATH]         show a directory's query
-  sscope [PATH]         scope composition (local/remote/stale breakdown)
+  sscope [PATH]         scope composition (local/remote/degraded breakdown)
   schquery PATH QUERY.. change a directory's query
   sls [PATH]            classified link listing
   sact LINK             show the matching lines behind a link
@@ -50,7 +50,13 @@ commands:
   chaos run [SEED [K [STEPS]]]  seeded fault-injection soak in a twin
                         world, invariant-checked against a clean oracle
   chaos status          report of the last chaos run
-  glimpse QUERY...      ad-hoc search
+  tenant create NAME [inodes=N] [bytes=N] [docs=N] [weight=N]
+                        carve a tenant namespace with optional budgets
+  tenant list           per-tenant root, usage, quota, and pending work
+  tenant use [NAME|-]   route glimpse through a tenant facade (- = host)
+  tenant quota NAME [inodes=N] [bytes=N] [docs=N] [weight=N]
+                        replace a tenant's budgets / fair-share weight
+  glimpse QUERY...      ad-hoc search (tenant-scoped under 'tenant use')
   swatch/sunwatch PATH  automatic index maintenance for a subtree
   fsck [--repair]       audit HAC's internal structures
   hacstat [PREFIX]      counters, histograms, and span breakdown
@@ -181,6 +187,8 @@ def _dispatch(shell: HacShell, cmd: str, args: List[str]) -> Optional[str]:
         return _admit_command(shell, args)
     if cmd == "chaos":
         return _chaos_command(shell, args)
+    if cmd == "tenant":
+        return _tenant_command(shell, args)
     if cmd == "glimpse":
         return "\n".join(shell.glimpse(" ".join(args)))
     if cmd == "swatch":
@@ -254,6 +262,51 @@ def _chaos_command(shell: HacShell, args: List[str]) -> str:
         import json
         return json.dumps(report, indent=2, sort_keys=True, default=str)
     return f"unknown chaos subcommand: {sub} (run|status)"
+
+
+def _parse_quota_args(args: List[str]) -> dict:
+    """``inodes=10 bytes=4096 docs=5 weight=3`` → QuotaSpec kwargs."""
+    keys = {"inodes": "max_inodes", "bytes": "max_bytes",
+            "docs": "max_docs", "weight": "weight"}
+    out: dict = {}
+    for arg in args:
+        key, _, value = arg.partition("=")
+        if key not in keys or not value:
+            raise ValueError(f"expected KEY=N with KEY in {sorted(keys)}, "
+                             f"got {arg!r}")
+        out[keys[key]] = int(value)
+    return out
+
+
+def _render_tenant_rows(described: dict) -> str:
+    return "\n".join(
+        f"{name}  root={row['root']}  inodes={row['usage']['inodes']}  "
+        f"bytes={row['usage']['bytes']}  pending={row['pending']}  "
+        f"quota={row['quota']}"
+        for name, row in sorted(described.items()))
+
+
+def _tenant_command(shell: HacShell, args: List[str]) -> str:
+    sub = args[0] if args else "list"
+    if sub == "create":
+        if len(args) < 2:
+            return "usage: tenant create NAME [inodes=N] [bytes=N] [docs=N] [weight=N]"
+        root = shell.tenant_create(args[1], **_parse_quota_args(args[2:]))
+        return f"tenant {args[1]} at {root}"
+    if sub == "list":
+        rows = shell.tenant_list()
+        if not rows:
+            return "(no tenants — try 'tenant create NAME')"
+        return _render_tenant_rows(rows)
+    if sub == "use":
+        name = args[1] if len(args) > 1 and args[1] != "-" else None
+        return f"querying as {shell.tenant_use(name)}"
+    if sub == "quota":
+        if len(args) < 2:
+            return "usage: tenant quota NAME [inodes=N] [bytes=N] [docs=N] [weight=N]"
+        row = shell.tenant_quota(args[1], **_parse_quota_args(args[2:]))
+        return _render_tenant_rows({args[1]: row})
+    return f"unknown tenant subcommand: {sub} (create|list|use|quota)"
 
 
 def _trace_command(shell: HacShell, args: List[str]) -> str:

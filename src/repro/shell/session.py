@@ -32,6 +32,8 @@ class HacShell:
     def __init__(self, hacfs: Optional[HacFileSystem] = None):
         self.hacfs = hacfs if hacfs is not None else HacFileSystem()
         self.cwd = "/"
+        #: the tenant facade queries route through (None = the host view)
+        self.tenant = None
 
     # -- path handling ---------------------------------------------------------
 
@@ -185,18 +187,59 @@ class HacShell:
         """Audit HAC's structures; returns rendered findings."""
         return [str(f) for f in self.hacfs.fsck(repair=repair)]
 
+    # -- tenants -----------------------------------------------------------------
+
+    def tenant_create(self, name: str,
+                      max_inodes: Optional[int] = None,
+                      max_bytes: Optional[int] = None,
+                      max_docs: Optional[int] = None,
+                      weight: int = 1) -> str:
+        """Create a tenant namespace; returns its host scope root."""
+        from repro.core.quota import QuotaSpec
+
+        tenant = self.hacfs.tenants.create(
+            name, quota=QuotaSpec(max_inodes=max_inodes, max_bytes=max_bytes,
+                                  max_docs=max_docs, weight=weight))
+        return tenant.root
+
+    def tenant_list(self) -> dict:
+        """Per-tenant root/usage/quota/pending, as ``health()`` reports."""
+        return self.hacfs.tenants.describe()
+
+    def tenant_use(self, name: Optional[str] = None) -> str:
+        """Route subsequent ``glimpse`` calls through one tenant's facade
+        (quota-aware, subtree-scoped); ``None`` returns to the host view."""
+        if name is None:
+            self.tenant = None
+            return "(host)"
+        self.tenant = self.hacfs.tenants.get(name)
+        return self.tenant.name
+
+    def tenant_quota(self, name: str,
+                     max_inodes: Optional[int] = None,
+                     max_bytes: Optional[int] = None,
+                     max_docs: Optional[int] = None,
+                     weight: int = 1) -> dict:
+        """Replace a tenant's budgets; returns its refreshed describe row."""
+        from repro.core.quota import QuotaSpec
+
+        self.hacfs.tenants.set_quota(
+            name, QuotaSpec(max_inodes=max_inodes, max_bytes=max_bytes,
+                            max_docs=max_docs, weight=weight))
+        return self.hacfs.tenants.describe()[name]
+
     # -- search cluster ----------------------------------------------------------
 
     def smkcluster(self, shards: int = 3) -> str:
         """Replace the CBA engine with a sharded search cluster and reindex
         the corpus into it (semantic directories re-evaluate against the
         cluster from here on)."""
-        from repro.cluster import ClusterFactory
+        from repro.cba.backend import open_backend
 
         hacfs = self.hacfs
         old = hacfs.engine
         num_blocks = old.num_blocks
-        factory = ClusterFactory(shards=shards)
+        factory = open_backend(f"cluster:{shards}")
         cluster = factory(hacfs._load_doc, counters=hacfs.counters,
                           clock=hacfs.clock, transducer=old.transducer,
                           num_blocks=num_blocks, fast_path=old.fast_path)
@@ -362,6 +405,9 @@ class HacShell:
 
         if consistency not in ("strong", "snapshot"):
             raise ValueError(f"unknown consistency level: {consistency!r}")
+        if self.tenant is not None:
+            return self.tenant.glimpse(query, scope_path=scope_path,
+                                       consistency=consistency)
         # the admission gate may downgrade a strong read to snapshot while
         # back-ends are degraded (a no-op until 'admit on')
         consistency = self.hacfs.admission.admit_read(consistency)

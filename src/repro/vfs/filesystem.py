@@ -297,6 +297,18 @@ class FileSystem:
             return None
         return pathutil.join(ppath, name)
 
+    def reset_path_map(self) -> None:
+        """Drop every cached resolution and bump the map generation.
+
+        For callers that hand the live tree to a new owner (crash-recovery
+        reopen pins the fsid and reuses this very instance): entries cached
+        before the handover would otherwise revalidate as live and serve
+        resolutions the new owner never vetted.
+        """
+        pm = self._pathmap
+        if pm is not None:
+            pm.clear()
+
     def _pm_invalidate(self, parent: DirNode, name: str,
                        prefix: bool = False) -> None:
         """Invalidate the map entry for ``parent/name`` on *this* fs."""

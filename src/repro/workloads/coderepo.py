@@ -1,0 +1,103 @@
+"""Code-repository workload: many small files, high churn.
+
+The multi-tenant story needs a workload that behaves like a source tree
+being actively developed — hundreds of small files spread over nested
+module directories, with a steady stream of edits, renames, and deletes
+concentrated on a hot subset (most commits touch the same few files).
+Driven through a :class:`~repro.core.tenant.Tenant` facade it exercises
+exactly the pressure the fair-share drain is for: a churning code-repo
+tenant floods the maintenance queue while a quieter tenant should still
+see its own work drain promptly.
+
+Everything is deterministic from the seed (same ``random.Random``
+derivation as :mod:`repro.workloads.mailgen`), so two worlds populated
+and churned with the same seed are bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+_MODULES = ("core", "vfs", "index", "shell", "util")
+_STEMS = ("matcher", "parser", "walker", "buffer", "codec", "router")
+_WORDS = (
+    "def parse tokenize buffer flush index lookup resolve cache evict "
+    "merge split ridge minutiae fingerprint query scope tenant drain "
+    "publish snapshot barrier shard segment journal intent replay"
+).split()
+
+
+class CodeRepoGenerator:
+    """Deterministic source-tree population plus a churn stream."""
+
+    def __init__(self, modules: Sequence[str] = _MODULES,
+                 stems: Sequence[str] = _STEMS, seed: int = 23):
+        self.modules = list(modules)
+        self.stems = list(stems)
+        self.seed = seed
+
+    def _rng(self, index: int) -> random.Random:
+        return random.Random(self.seed * 65537 + index)
+
+    def file_path(self, index: int) -> str:
+        rng = self._rng(index)
+        module = rng.choice(self.modules)
+        stem = rng.choice(self.stems)
+        return f"/src/{module}/{stem}{index:03d}.py"
+
+    def render(self, index: int, revision: int = 0) -> str:
+        """Source text of file *index* at *revision* (stable)."""
+        rng = random.Random(self.seed * 65537 + index * 257 + revision)
+        lines = [f"# module {self.file_path(index)} rev {revision}"]
+        for _ in range(rng.randint(3, 12)):
+            lines.append(" ".join(rng.choices(_WORDS, k=rng.randint(4, 9))))
+        return "\n".join(lines) + "\n"
+
+    def populate(self, tenant, count: int = 40) -> List[str]:
+        """Lay out *count* small files under ``/src/<module>/``."""
+        paths = []
+        made = set()
+        for index in range(count):
+            path = self.file_path(index)
+            parent = path.rsplit("/", 1)[0]
+            if parent not in made:
+                tenant.makedirs(parent)
+                made.add(parent)
+            tenant.write_file(path, self.render(index).encode("utf-8"))
+            paths.append(path)
+        return paths
+
+    def churn(self, tenant, paths: List[str], steps: int = 60,
+              hot_fraction: float = 0.25) -> List[Tuple[str, str]]:
+        """Run *steps* deterministic edit/rename/delete ops over *paths*.
+
+        Edits dominate and concentrate on the hot subset (the files every
+        commit touches); renames and deletes hit the cold tail.  *paths*
+        is mutated to track the live set; returns the applied op log.
+        """
+        hot = max(1, int(len(paths) * hot_fraction))
+        log: List[Tuple[str, str]] = []
+        for step in range(steps):
+            rng = self._rng(10_000 + step)
+            op = rng.choices(("edit", "rename", "delete"), (6, 2, 1))[0]
+            if not paths:
+                break
+            if op == "edit":
+                path = paths[rng.randrange(min(hot, len(paths)))]
+                # stable per-path content index (str hash is process-salted)
+                doc = sum(path.encode("utf-8")) % 1000
+                tenant.write_file(path, self.render(
+                    doc, revision=step).encode("utf-8"))
+            elif op == "rename":
+                pos = rng.randrange(len(paths))
+                path = paths[pos]
+                target = path.replace(".py", f"_r{step}.py")
+                tenant.rename(path, target)
+                paths[pos] = target
+            else:
+                pos = rng.randrange(len(paths))
+                path = paths.pop(pos)
+                tenant.unlink(path)
+            log.append((op, path))
+        return log

@@ -1,0 +1,99 @@
+"""Digital-library workload: bulk ingest plus a Zipf-skewed query stream.
+
+The second tenant archetype: a library tenant that ingests documents in
+large batches (catalogue imports, not interactive edits) and then serves
+a read-heavy query stream whose term popularity follows a Zipf law — a
+few head terms dominate, with a long tail of rare ones.  Against the
+code-repo churner it is the *starved* side of the fair-share story: a
+bulk ingest parks one big batch in the maintenance queue and then mostly
+reads.
+
+No numpy: the Zipf draw is an inverse-CDF walk over precomputed
+cumulative weights with ``random.Random``, deterministic from the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+_SUBJECTS = ("fingerprint", "retrieval", "compression", "networks",
+             "caching", "consensus", "indexing", "storage")
+_FILLER = (
+    "survey methods evaluation corpus benchmark analysis architecture "
+    "latency throughput replica snapshot hierarchy semantic content"
+).split()
+
+
+class ZipfSampler:
+    """Zipf(s) over ranks ``1..n`` via inverse CDF (no numpy)."""
+
+    def __init__(self, n: int, s: float = 1.2):
+        if n < 1:
+            raise ValueError("need at least one rank")
+        weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self.cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self.cdf.append(acc)
+
+    def draw(self, rng: random.Random) -> int:
+        """A 0-based rank, head-heavy."""
+        u = rng.random()
+        lo, hi = 0, len(self.cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+class DigitalLibraryGenerator:
+    """Deterministic bulk ingest and a Zipf query stream for one tenant."""
+
+    def __init__(self, subjects: Sequence[str] = _SUBJECTS, seed: int = 37,
+                 zipf_s: float = 1.2):
+        self.subjects = list(subjects)
+        self.seed = seed
+        self.sampler = ZipfSampler(len(self.subjects), s=zipf_s)
+
+    def render(self, index: int) -> str:
+        rng = random.Random(self.seed * 65537 + index)
+        subject = self.subjects[index % len(self.subjects)]
+        words = rng.choices(_FILLER, k=rng.randint(20, 50))
+        words.insert(rng.randrange(len(words)), subject)
+        return f"title: {subject} volume {index}\n\n" + " ".join(words) + "\n"
+
+    def ingest(self, tenant, count: int = 60, batch: int = 20) -> List[str]:
+        """Bulk-import *count* documents in *batch*-sized waves, with a
+        barrier after each wave (the catalogue import commits per batch)."""
+        tenant.makedirs("/stacks")
+        paths = []
+        for index in range(count):
+            path = f"/stacks/vol{index:04d}.txt"
+            tenant.write_file(path, self.render(index).encode("utf-8"))
+            paths.append(path)
+            if (index + 1) % batch == 0:
+                tenant.barrier()
+        tenant.barrier()
+        return paths
+
+    def query_stream(self, count: int, offset: int = 0) -> List[str]:
+        """*count* query terms, Zipf-skewed over the subject list."""
+        out = []
+        for i in range(count):
+            rng = random.Random(self.seed * 65537 + 50_000 + offset + i)
+            out.append(self.subjects[self.sampler.draw(rng)])
+        return out
+
+    def run_queries(self, tenant, count: int = 30,
+                    consistency: str = "strong") -> int:
+        """Issue the query stream through the facade; returns total hits."""
+        hits = 0
+        for term in self.query_stream(count):
+            hits += len(tenant.glimpse(term, consistency=consistency))
+        return hits

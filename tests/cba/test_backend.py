@@ -126,3 +126,91 @@ def test_service_roundtrips_through_to_obj():
     assert restored.fetch("late") == "late breaking fingerprint news"
     assert restored.mtime_snapshot() == service.mtime_snapshot()
     assert restored._engine._next_doc_id == service._engine._next_doc_id
+
+
+# ---------------------------------------------------------------------------
+# open_backend: the unified construction surface
+# ---------------------------------------------------------------------------
+
+
+class TestOpenBackend:
+    def test_none_and_monolith_specs_build_an_engine(self):
+        from repro.cba.backend import MonolithFactory, open_backend
+
+        for spec in (None, "monolith", {"kind": "monolith"}):
+            factory = open_backend(spec)
+            assert isinstance(factory, MonolithFactory)
+            engine = factory(_loader)
+            assert isinstance(engine, CBAEngine)
+
+    def test_cluster_spec_parses_shard_count(self):
+        from repro.cba.backend import open_backend
+        from repro.cluster import ClusterFactory
+
+        factory = open_backend("cluster:4")
+        assert isinstance(factory, ClusterFactory)
+        cluster = factory(_loader)
+        assert len(cluster.shards) == 4
+
+    def test_cluster_dict_spec_passes_options(self):
+        from repro.cba.backend import open_backend
+
+        factory = open_backend({"kind": "cluster", "shards": 2,
+                                "latency": 0.0})
+        assert len(factory(_loader).shards) == 2
+
+    def test_remote_spec_builds_a_service(self):
+        from repro.cba.backend import open_backend
+
+        service = open_backend("remote:digilib")
+        assert isinstance(service, SimulatedSearchService)
+        assert service.namespace_id == "digilib"
+
+    def test_remote_spec_requires_a_namespace(self):
+        from repro.cba.backend import open_backend
+
+        with pytest.raises(ValueError):
+            open_backend("remote")
+
+    def test_unknown_kind_is_rejected(self):
+        from repro.cba.backend import open_backend
+
+        with pytest.raises(ValueError):
+            open_backend("warehouse")
+
+    def test_backend_objects_pass_through(self):
+        from repro.cba.backend import open_backend
+
+        service = SimulatedSearchService("svc", documents=CORPUS)
+        assert open_backend(service) is service
+
+    def test_engine_factory_kwarg_is_a_deprecated_shim(self):
+        from repro.core.hacfs import HacFileSystem
+        from repro.cluster import ClusterFactory
+
+        with pytest.warns(DeprecationWarning, match="engine_factory"):
+            hac = HacFileSystem(engine_factory=ClusterFactory(
+                shards=2, latency=0.0))
+        assert len(hac.engine.shards) == 2
+
+    def test_backend_kwarg_is_the_replacement(self):
+        import warnings
+
+        from repro.core.hacfs import HacFileSystem
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            hac = HacFileSystem(backend="cluster:2")
+        assert len(hac.engine.shards) == 2
+
+    def test_restore_accepts_a_backend_spec(self):
+        from repro.core.hacfs import HacFileSystem
+
+        hac = HacFileSystem(backend="cluster:2")
+        hac.makedirs("/notes")
+        hac.write_file("/notes/a.txt", b"fingerprint ridges")
+        hac.ssync("/")
+        hac.save_index()
+        again = HacFileSystem.restore(hac.fs, backend="cluster:2")
+        assert len(again.engine.shards) == 2
+        assert len(again.engine) == 1  # the saved index came back

@@ -99,9 +99,9 @@ class TestDegradation:
         cfs.clock.tick()
         cfs.ssync("/")  # must not raise
         assert set(cfs.links("/q")) == before  # stale beats lost
-        flags = cfs.stale_shards("/q")
+        flags = cfs.health("/q")["directories"]["/q"]["degraded_shards"]
         assert set(flags) == {sid}
-        assert "fp-design.txt" in cfs.stale_links("/q")
+        assert "fp-design.txt" in cfs.health("/q")["directories"]["/q"]["degraded_links"]
         assert cfs.counters.get("consistency.partial_evaluations") >= 1
         assert cfs.counters.get("consistency.shard_degradations") == 1
 
@@ -114,8 +114,7 @@ class TestDegradation:
         cfs.engine.revive_shard(sid)
         cfs.clock.tick()
         cfs.ssync("/")
-        assert cfs.stale_shards("/q") == {}
-        assert cfs.stale_links("/q") == []
+        assert cfs.health("/q")["directories"] == {}
         assert cfs.counters.get("consistency.shard_recoveries") == 1
         assert set(cfs.links("/q")) == {"fp-design.txt", "msg1.txt",
                                         "match.c"}
@@ -126,10 +125,10 @@ class TestDegradation:
         cfs.engine.kill_shard(sid)
         cfs.clock.tick()
         cfs.ssync("/")
-        first = cfs.stale_shards("/q")[sid]
+        first = cfs.health("/q")["directories"]["/q"]["degraded_shards"][sid]
         cfs.clock.tick()
         cfs.ssync("/")
-        assert cfs.stale_shards("/q")[sid] == first  # not re-stamped
+        assert cfs.health("/q")["directories"]["/q"]["degraded_shards"][sid] == first  # not re-stamped
 
 
 class TestPersistence:

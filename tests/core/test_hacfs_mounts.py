@@ -49,7 +49,7 @@ class TestSyntacticMount:
         populated.smkdir("/fp", "fingerprint")
         assert "fp.c" not in populated.links("/fp")
 
-    def test_unmount_drops_stale_links_at_sync(self, populated, laptop):
+    def test_unmount_drops_dangling_links_at_sync(self, populated, laptop):
         populated.mkdir("/laptop")
         populated.mount("/laptop", laptop)
         populated.ssync("/")

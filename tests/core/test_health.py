@@ -1,4 +1,4 @@
-"""The consolidated ``hac.health()`` degradation report and its aliases."""
+"""The consolidated ``hac.health()`` degradation report — the only status surface."""
 
 import pytest
 
@@ -43,9 +43,9 @@ def test_degraded_remote_appears_in_one_report(degraded_remote):
     report = degraded_remote.health()
     assert report["backends"] == {"digilib": "open"}
     entry = report["directories"]["/fp"]
-    assert "digilib" in entry["stale_remote"]
-    assert "fp-survey" in entry["stale_links"]
-    assert entry["stale_shards"] == {}
+    assert "digilib" in entry["degraded_remote"]
+    assert "fp-survey" in entry["degraded_links"]
+    assert entry["degraded_shards"] == {}
     assert degraded_remote.counters.get("hac.health") >= 1
 
 
@@ -58,21 +58,13 @@ def test_path_restricts_the_directories_section(degraded_remote):
     assert report["backends"] == {"digilib": "open"}
 
 
-def test_aliases_equal_the_structured_report(degraded_remote):
-    hac = degraded_remote
-    entry = hac.health("/fp")["directories"]["/fp"]
-    assert hac.stale_remote("/fp") == entry["stale_remote"]
-    assert hac.stale_links("/fp") == entry["stale_links"]
-    assert hac.stale_shards("/fp") == entry["stale_shards"]
-    # healthy directory: the aliases return their empty shapes
-    assert hac.stale_remote("/notes") == {}
-    assert hac.stale_links("/notes") == []
-    assert hac.stale_shards("/notes") == {}
+def test_per_probe_aliases_are_gone(degraded_remote):
+    """The pre-PR 5 accessors were removed: health() is the only surface."""
+    for alias in ("stale_" + "remote", "stale_" + "links", "stale_" + "shards"):
+        assert not hasattr(degraded_remote, alias)
 
 
-def test_aliases_keep_raising_on_unknown_directories(populated):
-    with pytest.raises(FileNotFound):
-        populated.stale_remote("/no/such/dir")
+def test_health_keeps_raising_on_unknown_directories(populated):
     with pytest.raises(FileNotFound):
         populated.health("/no/such/dir")
 
@@ -101,12 +93,12 @@ def test_combined_degradation_one_report(degraded_remote):
     report = hac.health()
     # axis 1: the dead shard, globally and per directory
     assert report["shards"][victim] == "down"
-    assert victim in report["directories"]["/fp"]["stale_shards"]
+    assert victim in report["directories"]["/fp"]["degraded_shards"]
     # axis 2: the remote breaker, in backends and the breakers section
     assert report["backends"]["digilib"] == "open"
     assert report["breakers"]["digilib"]["state"] == "open"
     assert report["breakers"]["digilib"]["transitions"]
-    assert "digilib" in report["directories"]["/fp"]["stale_remote"]
+    assert "digilib" in report["directories"]["/fp"]["degraded_remote"]
     # axis 3: the queued maintenance intent
     assert report["admission"]["pending"] >= 1
     # and the admission gate reads the same world as degraded
@@ -135,5 +127,5 @@ def test_dead_shard_surfaces_in_health(populated):
     report = populated.health()
     assert report["shards"][victim] == "down"
     stale = {sid for entry in report["directories"].values()
-             for sid in entry["stale_shards"]}
+             for sid in entry["degraded_shards"]}
     assert victim in stale

@@ -185,3 +185,40 @@ class TestIndexRestoreDistinction:
         # note: the corrupt record stays on the device and keeps being
         # reported by fsck until the next save_index overwrites it
         assert any(f.kind == "corrupt-record" for f in restored.fsck())
+
+
+class TestPathMapAcrossRestore:
+    """Restore must bump the PathMap generation even when the caller pins
+    the fsid and hands the same FileSystem back (the crash-recovery
+    reopen path): stale cached resolutions must never survive a reopen."""
+
+    def _pinned_world(self):
+        from repro.vfs.filesystem import FileSystem
+
+        fs = FileSystem(name="hac", fsid="hac#pinned")
+        hac = HacFileSystem(fs=fs)
+        hac.makedirs("/proj/a")
+        hac.write_file("/proj/a/f.txt", b"fingerprint data")
+        hac.ssync("/")
+        hac.save_index()
+        return fs, hac
+
+    def test_restore_invalidates_the_pinned_fsid_map(self):
+        fs, hac = self._pinned_world()
+        # warm the cache so stale entries exist to serve
+        assert hac.read_file("/proj/a/f.txt") == b"fingerprint data"
+        before = fs._pathmap.generation
+        HacFileSystem.restore(fs)
+        assert fs._pathmap.generation > before
+
+    def test_rename_after_pinned_restore_resolves_fresh(self):
+        fs, hac = self._pinned_world()
+        assert hac.read_file("/proj/a/f.txt") == b"fingerprint data"
+        again = HacFileSystem.restore(fs)
+        again.rename("/proj/a", "/proj/b")
+        assert again.read_file("/proj/b/f.txt") == b"fingerprint data"
+        assert not again.exists("/proj/a/f.txt")
+        again.ssync("/")
+        doc = next(again.engine.doc_by_id(d)
+                   for d in again.engine.all_docs())
+        assert doc.path == "/proj/b/f.txt"

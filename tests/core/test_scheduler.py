@@ -213,3 +213,80 @@ class TestStatus:
         assert drains and drains[-1].attrs["docs"] == 1
         assert applies and applies[-1].attrs["shard"] == "local"
         assert hac.obs.metrics.histogram("sched.batch_docs") is not None
+
+
+class TestFairShare:
+    """Weighted round-robin drain over per-tenant buckets."""
+
+    @pytest.fixture
+    def two_tenants(self, hacfs):
+        from repro.core.quota import QuotaSpec
+
+        hac = batched(hacfs)
+        heavy = hac.tenants.create("heavy", quota=QuotaSpec(weight=3))
+        light = hac.tenants.create("light", quota=QuotaSpec(weight=1))
+        return hac, heavy, light
+
+    def _fill(self, heavy, light, n_heavy=6, n_light=2):
+        for i in range(n_heavy):
+            heavy.write_file(f"/h{i}.txt", b"heavy fingerprint %d" % i)
+        for i in range(n_light):
+            light.write_file(f"/l{i}.txt", b"light fingerprint %d" % i)
+
+    def test_wrr_interleaves_by_weight(self, two_tenants):
+        hac, heavy, light = two_tenants
+        self._fill(heavy, light)
+        sched = hac.maintenance
+        order = [e.tenant for e in
+                 sched._fair_order(list(sched._pending.values()))]
+        # 3:1 interleave: three heavy entries, then light gets a turn
+        assert order[:4] == ["heavy", "heavy", "heavy", "light"]
+        assert order[4:8] == ["heavy", "heavy", "heavy", "light"]
+
+    def test_single_bucket_keeps_arrival_order(self, two_tenants):
+        hac, heavy, _light = two_tenants
+        for i in range(4):
+            heavy.write_file(f"/h{i}.txt", b"solo fingerprint %d" % i)
+        sched = hac.maintenance
+        entries = list(sched._pending.values())
+        assert sched._fair_order(entries) == entries
+
+    def test_shared_namespace_drains_last_in_the_round(self, two_tenants):
+        hac, heavy, light = two_tenants
+        hac.watch("/")
+        hac.makedirs("/shared")
+        hac.write_file("/shared/host.txt", b"host fingerprint")
+        self._fill(heavy, light, n_heavy=1, n_light=1)
+        sched = hac.maintenance
+        order = [e.tenant for e in
+                 sched._fair_order(list(sched._pending.values()))]
+        assert order == ["heavy", "light", None]
+
+    def test_tenant_barrier_leaves_other_buckets(self, two_tenants):
+        hac, heavy, light = two_tenants
+        self._fill(heavy, light, n_heavy=3, n_light=2)
+        drained = hac.maintenance.barrier(tenant="light")
+        assert drained == 2
+        assert hac.maintenance.pending_by_tenant() == {"heavy": 3}
+        assert light.glimpse("fingerprint", consistency="strong")
+
+    def test_tenant_barrier_with_empty_bucket_is_free(self, two_tenants):
+        hac, heavy, light = two_tenants
+        self._fill(heavy, light, n_heavy=3, n_light=0)
+        before = hac.counters.get("sched.drains")
+        assert hac.maintenance.barrier(tenant="light") == 0
+        assert hac.counters.get("sched.drains") == before
+        assert hac.maintenance.pending == 3
+
+    def test_full_drain_still_takes_everything(self, two_tenants):
+        hac, heavy, light = two_tenants
+        self._fill(heavy, light)
+        assert hac.maintenance.drain() == 8
+        assert hac.maintenance.pending_by_tenant() == {}
+
+    def test_status_grows_a_tenants_key_only_with_tenants(self, hacfs):
+        hac = batched(hacfs)
+        assert "tenants" not in hac.maintenance.status()
+        t = hac.tenants.create("solo")
+        t.write_file("/f.txt", b"fingerprint")
+        assert hac.maintenance.status()["tenants"] == {"solo": 1}

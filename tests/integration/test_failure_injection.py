@@ -136,10 +136,11 @@ class TestStaleDegradation:
         return {n for n, (_c, t) in hac.links("/fp").items()
                 if t.startswith("digilib")}
 
-    def test_degrades_to_stale_links_and_breaker_trips(self, degraded_world):
+    def test_degrades_to_held_links_and_breaker_trips(self, degraded_world):
         hac, transport, breaker = degraded_world
         good = self.remote_links(hac)
-        assert len(good) == 2 and hac.stale_remote("/fp") == {}
+        assert len(good) == 2
+        assert hac.health("/fp")["directories"] == {}
 
         for _ in range(50):                      # never raises to the caller
             hac.clock.tick()
@@ -154,8 +155,9 @@ class TestStaleDegradation:
         hac.ssync("/")
         assert transport.calls == calls_before
         assert self.remote_links(hac) == good
-        assert "digilib" in hac.stale_remote("/fp")
-        assert set(hac.stale_links("/fp")) == good
+        entry = hac.health("/fp")["directories"]["/fp"]
+        assert "digilib" in entry["degraded_remote"]
+        assert set(entry["degraded_links"]) == good
         assert hac.counters.get("breaker.digilib.rejections") >= 1
         assert [f for f in hac.fsck() if f.severity == "error"] == []
 
@@ -176,8 +178,7 @@ class TestStaleDegradation:
         hac.ssync("/")
         assert transport.calls > calls_before    # probe went through
         assert breaker.state == "closed"
-        assert hac.stale_remote("/fp") == {}
-        assert hac.stale_links("/fp") == []
+        assert hac.health("/fp")["directories"] == {}
         assert self.remote_links(hac) == good
         assert hac.counters.get("consistency.stale_recoveries") >= 1
 

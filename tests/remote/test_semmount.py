@@ -168,8 +168,9 @@ class TestHealth:
         assert populated.semmounts.health() == {"digilib": "unmonitored",
                                                 "guardlib": "open"}
         # last-known-good links are kept and flagged stale
-        assert "guardlib" in populated.stale_remote("/fp")
-        assert "fp-atlas" in populated.stale_links("/fp")
+        entry = populated.health("/fp")["directories"]["/fp"]
+        assert "guardlib" in entry["degraded_remote"]
+        assert "fp-atlas" in entry["degraded_links"]
         assert "fp-atlas" in populated.links("/fp")
         # while open, further syncs are rejected locally (no backend calls)
         calls = guarded.transport.calls
@@ -189,6 +190,5 @@ class TestHealth:
         populated.clock.advance(31.0)  # past the cool-down: half-open probe
         populated.ssync("/")
         assert populated.semmounts.health()["guardlib"] == "closed"
-        assert populated.stale_remote("/fp") == {}
-        assert populated.stale_links("/fp") == []
+        assert populated.health("/fp")["directories"] == {}
         assert "fp-atlas" in populated.links("/fp")
